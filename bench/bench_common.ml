@@ -1,0 +1,46 @@
+open Ft_schedule
+
+(* Shared budgets and helpers for the reproduction harness.  Budgets
+   are chosen so the full `dune exec bench/main.exe` completes in a few
+   minutes while every search has converged reasonably. *)
+
+let seed = 2020
+let search_evals = 350
+let autotvm_rounds = 20
+
+let gpu_targets = Target.[ v100; p100; titan_x ]
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let subsection title = Printf.printf "\n-- %s --\n" title
+
+let fmt_gf = Ft_util.Table.fmt_float ~digits:1
+
+(* Best FlexTensor (Q-method) performance value on a graph. *)
+let flextensor_search ?(max_evals = search_evals) graph target =
+  let space = Space.make graph target in
+  Ft_explore.Q_method.search ~seed ~n_trials:10_000 ~max_evals space
+
+let autotvm_search ?(rounds = autotvm_rounds) graph target =
+  let space = Space.make graph target in
+  Ft_baselines.Autotvm.search ~seed ~n_rounds:rounds space
+
+(* Library baseline perf value for a graph on a GPU target, following
+   the paper's comparison rules: cuDNN for convolutions, cuBLAS for the
+   matmul family, PyTorch-native otherwise (shift has no library). *)
+let gpu_library_value graph target =
+  if Ft_baselines.Cudnn.supported graph then
+    let verdict = Ft_baselines.Cudnn.evaluate target graph in
+    (verdict.perf, "cuDNN(" ^ verdict.algo ^ ")")
+  else if Ft_baselines.Cublas.supported graph then
+    let _, perf = Ft_baselines.Cublas.evaluate target graph in
+    (perf, "cuBLAS")
+  else
+    let _, perf = Ft_baselines.Pytorch_native.evaluate target graph in
+    (perf, "PyTorch")
+
+let perf_value graph target (perf : Ft_hw.Perf.t) =
+  Ft_hw.Cost.perf_value (Space.make graph target) perf
+
+let geomean_or_nan = function [] -> nan | xs -> Ft_util.Stats.geomean xs

@@ -1,0 +1,67 @@
+(* Figure 5: normalized performance of native PyTorch, the vendor
+   library (cuDNN or cuBLAS), and FlexTensor for the 12 benchmarks on
+   V100, P100 and Titan X; geometric means per operator over its test
+   cases.  The paper's headline: FlexTensor wins most operators, with
+   T2D/T3D as its weak spots (cuDNN's implicit-GEMM transposed
+   kernels), and average speedups of 1.83x / 1.68x / 1.71x vs the
+   library on the three GPUs. *)
+
+let evaluate_case target (case : Ft_workloads.Suites.case) =
+  let ft = (Bench_common.flextensor_search case.graph target).best_value in
+  let lib_perf, lib_name = Bench_common.gpu_library_value case.graph target in
+  let lib = Bench_common.perf_value case.graph target lib_perf in
+  let pt_perf = snd (Ft_baselines.Pytorch_native.evaluate target case.graph) in
+  let pt = Bench_common.perf_value case.graph target pt_perf in
+  (ft, lib, pt, lib_name)
+
+let run_target target =
+  Bench_common.subsection
+    (Printf.sprintf "normalized performance on %s" (Ft_schedule.Target.name target));
+  let speedups = ref [] in
+  let rows =
+    List.map
+      (fun (abbr, cases) ->
+        let results = List.map (evaluate_case target) cases in
+        let norm select =
+          Bench_common.geomean_or_nan
+            (List.map
+               (fun (ft, lib, pt, _) ->
+                 let top = Ft_util.Stats.maximum [ ft; lib; pt ] in
+                 select (ft /. top, lib /. top, pt /. top))
+               results)
+        in
+        let ft_n = norm (fun (f, _, _) -> f) in
+        let lib_n = norm (fun (_, l, _) -> l) in
+        let pt_n = norm (fun (_, _, p) -> p) in
+        let speedup =
+          Bench_common.geomean_or_nan
+            (List.map (fun (ft, lib, _, _) -> ft /. lib) results)
+        in
+        speedups := speedup :: !speedups;
+        let _, _, _, lib_name = List.hd results in
+        [ abbr;
+          Ft_util.Table.fmt_float pt_n;
+          Ft_util.Table.fmt_float lib_n;
+          Ft_util.Table.fmt_float ft_n;
+          Ft_util.Table.fmt_ratio speedup;
+          lib_name ])
+      Ft_workloads.Suites.all
+  in
+  Ft_util.Table.print
+    ~header:[ "op"; "PyTorch"; "library"; "FlexTensor"; "FT/lib"; "library used" ]
+    rows;
+  let avg = Bench_common.geomean_or_nan !speedups in
+  Printf.printf "geomean FlexTensor speedup vs library on %s: %s\n"
+    (Ft_schedule.Target.name target) (Ft_util.Table.fmt_ratio avg);
+  avg
+
+let run () =
+  Bench_common.section "Figure 5: 12 benchmarks on three GPUs";
+  let avgs = List.map run_target Bench_common.gpu_targets in
+  match avgs with
+  | [ v100; p100; titan ] ->
+      Printf.printf
+        "\npaper: 1.83x (V100), 1.68x (P100), 1.71x (Titan X); measured: %s / %s / %s\n"
+        (Ft_util.Table.fmt_ratio v100) (Ft_util.Table.fmt_ratio p100)
+        (Ft_util.Table.fmt_ratio titan)
+  | _ -> ()

@@ -1,0 +1,149 @@
+open Ft_schedule
+
+(* Figure 6: detailed 2D-convolution study on the 15 YOLO layers.
+   (a) absolute GFLOPS on V100 vs PyTorch and cuDNN;
+   (b) absolute GFLOPS on Xeon E5-2699 v4 vs PyTorch(MKL-DNN);
+   (c) absolute GFLOPS on VU9P vs the hand-optimized OpenCL baseline;
+   (d) exploration time of AutoTVM vs P-method vs Q-method to reach
+       similar performance. *)
+
+let layers = Ft_workloads.Yolo.layers
+
+let fig6a () =
+  Bench_common.subsection "Figure 6(a): C1-C15 on V100 (GFLOPS)";
+  let results =
+    List.map
+      (fun (l : Ft_workloads.Yolo.layer) ->
+        let graph = Ft_workloads.Yolo.graph l in
+        let ft = (Bench_common.flextensor_search graph Target.v100).best_value in
+        let verdict = Ft_baselines.Cudnn.evaluate Target.v100 graph in
+        let pt = snd (Ft_baselines.Pytorch_native.evaluate Target.v100 graph) in
+        (l.name, ft, verdict.perf.gflops, verdict.algo, pt.gflops))
+      layers
+  in
+  Ft_util.Table.print
+    ~header:[ "layer"; "PyTorch"; "cuDNN"; "FlexTensor"; "cuDNN algo"; "winner" ]
+    (List.map
+       (fun (name, ft, dnn, algo, pt) ->
+         [ name; Bench_common.fmt_gf pt; Bench_common.fmt_gf dnn;
+           Bench_common.fmt_gf ft; algo;
+           (if ft >= dnn then "FlexTensor" else "cuDNN") ])
+       results);
+  let fts = List.map (fun (_, ft, _, _, _) -> ft) results in
+  let speedup =
+    Bench_common.geomean_or_nan
+      (List.map (fun (_, ft, dnn, _, _) -> ft /. dnn) results)
+  in
+  Printf.printf
+    "average FlexTensor throughput: %.1f GFLOPS (paper: 3519.71)\n\
+     geomean speedup vs cuDNN: %s (paper: 1.5x); vs PyTorch (paper 1.56x): %s\n\
+     paper: cuDNN wins some Winograd-friendly layers such as C4/C6.\n"
+    (Ft_util.Stats.mean fts)
+    (Ft_util.Table.fmt_ratio speedup)
+    (Ft_util.Table.fmt_ratio
+       (Bench_common.geomean_or_nan
+          (List.map (fun (_, ft, _, _, pt) -> ft /. pt) results)))
+
+let fig6b () =
+  Bench_common.subsection "Figure 6(b): C1-C15 on Xeon E5-2699 v4 (GFLOPS)";
+  let results =
+    List.map
+      (fun (l : Ft_workloads.Yolo.layer) ->
+        let graph = Ft_workloads.Yolo.graph l in
+        let ft =
+          (Bench_common.flextensor_search graph Target.xeon_e5_2699_v4).best_value
+        in
+        let mkl = snd (Ft_baselines.Mkldnn.evaluate Target.xeon_e5_2699_v4 graph) in
+        (l.name, ft, mkl.gflops))
+      layers
+  in
+  Ft_util.Table.print ~header:[ "layer"; "PyTorch(MKL-DNN)"; "FlexTensor"; "speedup" ]
+    (List.map
+       (fun (name, ft, mkl) ->
+         [ name; Bench_common.fmt_gf mkl; Bench_common.fmt_gf ft;
+           Ft_util.Table.fmt_ratio (ft /. mkl) ])
+       results);
+  Printf.printf "geomean speedup vs MKL-DNN: %s (paper: 1.72x)\n"
+    (Ft_util.Table.fmt_ratio
+       (Bench_common.geomean_or_nan (List.map (fun (_, ft, mkl) -> ft /. mkl) results)))
+
+let fig6c () =
+  Bench_common.subsection "Figure 6(c): C1-C15 on VU9P (GFLOPS)";
+  let results =
+    List.map
+      (fun (l : Ft_workloads.Yolo.layer) ->
+        let graph = Ft_workloads.Yolo.graph l in
+        let ft = (Bench_common.flextensor_search graph Target.vu9p).best_value in
+        let base = snd (Ft_baselines.Opencl_fpga.evaluate Target.vu9p graph) in
+        (l.name, ft, base.gflops))
+      layers
+  in
+  Ft_util.Table.print ~header:[ "layer"; "hand-optimized"; "FlexTensor"; "speedup" ]
+    (List.map
+       (fun (name, ft, base) ->
+         [ name; Bench_common.fmt_gf base; Bench_common.fmt_gf ft;
+           Ft_util.Table.fmt_ratio (ft /. base) ])
+       results);
+  Printf.printf "geomean speedup vs OpenCL baseline: %s (paper: 1.5x)\n"
+    (Ft_util.Table.fmt_ratio
+       (Bench_common.geomean_or_nan
+          (List.map (fun (_, ft, base) -> ft /. base) results)))
+
+(* Exploration-time comparison. Per the paper: run AutoTVM until it
+   converges, then run P- and Q-method until they reach a similar
+   performance, and compare the (simulated) exploration times. *)
+let exploration_times (l : Ft_workloads.Yolo.layer) =
+  let graph = Ft_workloads.Yolo.graph l in
+  let space = Space.make graph Target.v100 in
+  let atvm = Ft_baselines.Autotvm.search ~seed:Bench_common.seed ~n_rounds:24 space in
+  (* "similar performance" (§6.5): within 5% of AutoTVM's converged
+     best; a run that never gets there is charged its full time. *)
+  let reach (result : Ft_explore.Driver.result) =
+    let threshold = 0.95 *. atvm.best_value in
+    let rec go = function
+      | [] -> result.sim_time_s
+      | (s : Ft_explore.Driver.sample) :: rest ->
+          if s.best_value >= threshold then s.at_s else go rest
+    in
+    go result.history
+  in
+  let q =
+    Ft_explore.Q_method.search ~seed:Bench_common.seed ~n_trials:10_000
+      ~max_evals:600 ~heuristic_seeds:false space
+  in
+  let p =
+    Ft_explore.P_method.search ~seed:Bench_common.seed ~n_trials:10_000
+      ~max_evals:600 ~heuristic_seeds:false space
+  in
+  (atvm, reach q, reach p, q, p)
+
+let fig6d () =
+  Bench_common.subsection
+    "Figure 6(d): exploration time to reach AutoTVM's converged performance (simulated s)";
+  let rows = ref [] and q_over_p = ref [] and q_over_atvm = ref [] in
+  List.iter
+    (fun (l : Ft_workloads.Yolo.layer) ->
+      let atvm, q_time, p_time, _, _ = exploration_times l in
+      q_over_p := (q_time /. Float.max 1e-9 p_time) :: !q_over_p;
+      q_over_atvm := (q_time /. Float.max 1e-9 atvm.sim_time_s) :: !q_over_atvm;
+      rows :=
+        [ l.name;
+          Printf.sprintf "%.0f" atvm.sim_time_s;
+          Printf.sprintf "%.0f" p_time;
+          Printf.sprintf "%.0f" q_time ]
+        :: !rows)
+    layers;
+  Ft_util.Table.print ~header:[ "layer"; "AutoTVM"; "P-method"; "Q-method" ]
+    (List.rev !rows);
+  Printf.printf
+    "Q-method time as fraction of P-method: %.1f%% (paper: 27.6%%)\n\
+     Q-method time as fraction of AutoTVM:  %.1f%% (paper: 52.9%%)\n"
+    (100. *. Bench_common.geomean_or_nan !q_over_p)
+    (100. *. Bench_common.geomean_or_nan !q_over_atvm)
+
+let run () =
+  Bench_common.section "Figure 6: detailed C2D study on heterogeneous hardware";
+  fig6a ();
+  fig6b ();
+  fig6c ();
+  fig6d ()

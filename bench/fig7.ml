@@ -1,0 +1,45 @@
+open Ft_schedule
+
+(* Figure 7: best-so-far performance vs (simulated) exploration time
+   for C1, C6, C8, C9 on V100, comparing P-method, Q-method and
+   AutoTVM.  The paper's observation: the Q-method converges to good
+   performance quickly, the others take longer. *)
+
+let curve (result : Ft_explore.Driver.result) =
+  (* subsample the history into ~12 points *)
+  let samples = Array.of_list result.history in
+  let n = Array.length samples in
+  let step = max 1 (n / 12) in
+  let points = ref [] in
+  Array.iteri
+    (fun i (s : Ft_explore.Driver.sample) ->
+      if i mod step = 0 || i = n - 1 then
+        points := (s.at_s, s.best_value) :: !points)
+    samples;
+  List.rev !points
+
+let run () =
+  Bench_common.section "Figure 7: performance vs exploration time (V100)";
+  List.iter
+    (fun name ->
+      let graph = Ft_workloads.Yolo.graph (Ft_workloads.Yolo.find name) in
+      let space = Space.make graph Target.v100 in
+      let q =
+        Ft_explore.Q_method.search ~seed:Bench_common.seed ~n_trials:10_000
+          ~max_evals:400 ~heuristic_seeds:false space
+      in
+      let p =
+        Ft_explore.P_method.search ~seed:Bench_common.seed ~n_trials:10_000
+          ~max_evals:400 ~heuristic_seeds:false space
+      in
+      let atvm =
+        Ft_baselines.Autotvm.search ~seed:Bench_common.seed ~n_rounds:24 space
+      in
+      print_string
+        (Ft_util.Chart.series ~digits:0
+           ~title:(Printf.sprintf "(%s)" name)
+           ~x_label:"time(s)" ~y_label:"GFLOPS"
+           [ ("P-method", curve p); ("Q-method", curve q); ("AutoTVM", curve atvm) ]))
+    [ "C1"; "C6"; "C8"; "C9" ];
+  print_endline
+    "paper: Q-method always converges to good performance in a short time."

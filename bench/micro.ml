@@ -1,0 +1,58 @@
+open Bechamel
+open Toolkit
+
+(* Bechamel micro-benchmarks of the framework's hot paths: one
+   Test.make per component that the search loop exercises per
+   evaluation. *)
+
+let conv_space =
+  Ft_schedule.Space.make
+    (Ft_workloads.Yolo.graph (Ft_workloads.Yolo.find "C8"))
+    Ft_schedule.Target.v100
+
+let tests () =
+  let rng = Ft_util.Rng.create 1 in
+  let cfg = Ft_schedule.Space.random_config rng conv_space in
+  let features = Ft_schedule.Space.features conv_space cfg in
+  let net =
+    Ft_nn.Network.mlp (Ft_util.Rng.create 2)
+      ~dims:[| Array.length features; 64; 64; 64; 32 |]
+  in
+  [
+    Test.make ~name:"gpu cost model query"
+      (Staged.stage (fun () -> Ft_hw.Cost.evaluate conv_space cfg));
+    Test.make ~name:"space size (closed form)"
+      (Staged.stage (fun () -> Ft_schedule.Space.size conv_space));
+    Test.make ~name:"random config"
+      (Staged.stage (fun () -> Ft_schedule.Space.random_config rng conv_space));
+    Test.make ~name:"neighborhood expansion"
+      (Staged.stage (fun () -> Ft_schedule.Neighborhood.neighbors conv_space cfg));
+    Test.make ~name:"feature embedding"
+      (Staged.stage (fun () -> Ft_schedule.Space.features conv_space cfg));
+    Test.make ~name:"q-network forward"
+      (Staged.stage (fun () -> Ft_nn.Network.forward net features));
+    Test.make ~name:"config key"
+      (Staged.stage (fun () -> Ft_schedule.Config.key cfg));
+  ]
+
+let run () =
+  Bench_common.section "Micro-benchmarks (bechamel, ns per call)";
+  let instance = Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.2) ~kde:None () in
+  let grouped = Test.make_grouped ~name:"flextensor" ~fmt:"%s.%s" (tests ()) in
+  let raw = Benchmark.all cfg [ instance ] grouped in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ estimate ] ->
+          rows := (name, Printf.sprintf "%.0f" estimate) :: !rows
+      | _ -> ())
+    results;
+  Ft_util.Table.print ~header:[ "hot path"; "ns/call" ]
+    (List.map (fun (a, b) -> [ a; b ])
+       (List.sort compare !rows))

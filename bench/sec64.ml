@@ -1,0 +1,33 @@
+open Ft_schedule
+
+(* §6.4: new operators without library support — block-circulant matrix
+   multiply (BCM, V100, paper 2.11x vs hand-tuned) and shift (SHO,
+   Titan X, paper 1.53x vs hand-tuned). *)
+
+let run_suite name target cases =
+  Bench_common.subsection
+    (Printf.sprintf "%s on %s (vs hand-tuned GPU baseline)" name (Target.name target));
+  let speedups =
+    List.map
+      (fun (case : Ft_workloads.Suites.case) ->
+        let ft = Bench_common.flextensor_search case.graph target in
+        let _, base = Ft_baselines.Handtuned.evaluate target case.graph in
+        let speedup = base.time_s /. ft.best_perf.time_s in
+        Printf.printf "  %-18s FlexTensor %8.3f ms | hand-tuned %8.3f ms | %s\n"
+          case.case_name
+          (ft.best_perf.time_s *. 1e3)
+          (base.time_s *. 1e3)
+          (Ft_util.Table.fmt_ratio speedup);
+        speedup)
+      cases
+  in
+  let avg = Bench_common.geomean_or_nan speedups in
+  Printf.printf "  geomean speedup: %s\n" (Ft_util.Table.fmt_ratio avg);
+  avg
+
+let run () =
+  Bench_common.section "Section 6.4: new operators (BCM, SHO)";
+  let bcm = run_suite "BCM" Target.v100 Ft_workloads.Suites.bcm_cases in
+  let sho = run_suite "SHO" Target.titan_x Ft_workloads.Suites.shift_cases in
+  Printf.printf "\npaper: BCM 2.11x (V100), SHO 1.53x (Titan X); measured: %s / %s\n"
+    (Ft_util.Table.fmt_ratio bcm) (Ft_util.Table.fmt_ratio sho)

@@ -1,0 +1,37 @@
+(* §6.6: end-to-end DNN case study — YOLO-v1 (24 conv layers; paper
+   speedup 1.07x vs AutoTVM) and OverFeat (5 conv layers; paper 1.39x)
+   on V100, batch 1, with conv+bias+ReLU sub-graph fusion. *)
+
+let run_network name run_fn =
+  Bench_common.subsection name;
+  let (ft : Ft_dnn.Runner.network_result) = run_fn Ft_dnn.Runner.Flextensor_q in
+  let (atvm : Ft_dnn.Runner.network_result) = run_fn Ft_dnn.Runner.Autotvm_baseline in
+  Ft_util.Table.print
+    ~header:[ "layer"; "count"; "FlexTensor ms"; "AutoTVM ms" ]
+    (List.map2
+       (fun (f : Ft_dnn.Runner.layer_time) (a : Ft_dnn.Runner.layer_time) ->
+         [ f.layer_name; string_of_int f.occurrences;
+           Printf.sprintf "%.3f" (f.kernel_s *. 1e3);
+           Printf.sprintf "%.3f" (a.kernel_s *. 1e3) ])
+       ft.layer_times atvm.layer_times);
+  let speedup = atvm.total_s /. ft.total_s in
+  Printf.printf "end-to-end: FlexTensor %.2f ms, AutoTVM %.2f ms -> %s\n"
+    (ft.total_s *. 1e3) (atvm.total_s *. 1e3)
+    (Ft_util.Table.fmt_ratio speedup);
+  speedup
+
+let run () =
+  Bench_common.section "Section 6.6: full DNNs (V100, batch 1)";
+  let target = Ft_schedule.Target.v100 in
+  let yolo =
+    run_network "YOLO-v1 (24 conv layers)" (fun opt ->
+        Ft_dnn.Runner.yolo_v1 ~seed:Bench_common.seed
+          ~max_evals:Bench_common.search_evals ~target opt)
+  in
+  let overfeat =
+    run_network "OverFeat (5 conv layers)" (fun opt ->
+        Ft_dnn.Runner.overfeat ~seed:Bench_common.seed
+          ~max_evals:Bench_common.search_evals ~target opt)
+  in
+  Printf.printf "\npaper: YOLO-v1 1.07x, OverFeat 1.39x; measured: %s / %s\n"
+    (Ft_util.Table.fmt_ratio yolo) (Ft_util.Table.fmt_ratio overfeat)

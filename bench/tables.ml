@@ -1,0 +1,42 @@
+(* Table 3: static-analysis results for the 12 benchmarks (paper's
+   "Analysis Results" column), and Table 4: the YOLO-v1 layer
+   configurations used throughout §6.3. *)
+
+let paper_table3 =
+  [ ("GMV", 1, 1, 1); ("GMM", 2, 1, 1); ("BIL", 2, 2, 1); ("C1D", 6, 2, 2);
+    ("T1D", 9, 2, 3); ("C2D", 8, 3, 2); ("T2D", 12, 3, 3); ("C3D", 10, 4, 2);
+    ("T3D", 15, 4, 3); ("GRP", 4, 3, 2); ("DEP", 4, 3, 2); ("DIL", 4, 3, 2) ]
+
+let table3 () =
+  Bench_common.section "Table 3: benchmark analysis results (#sl/#rl, #node)";
+  let rows =
+    List.map
+      (fun (abbr, paper_sl, paper_rl, paper_node) ->
+        let case = List.hd (Ft_workloads.Suites.find abbr) in
+        let info = Ft_analysis.Static_analyzer.analyze case.graph in
+        [ abbr;
+          Printf.sprintf "%d/%d" info.total_spatial info.total_reduce;
+          Printf.sprintf "%d/%d" paper_sl paper_rl;
+          string_of_int info.num_nodes;
+          string_of_int paper_node;
+          string_of_int (List.length (Ft_workloads.Suites.find abbr)) ])
+      paper_table3
+  in
+  Ft_util.Table.print
+    ~header:[ "op"; "#sl/#rl"; "paper #sl/#rl"; "#node"; "paper #node"; "cases" ]
+    rows;
+  print_endline
+    "note: for GRP/DEP/DIL the paper counts only the compute node's loops;\n\
+     our analyzer counts all mini-graph nodes uniformly (see EXPERIMENTS.md)."
+
+let table4 () =
+  Bench_common.section "Table 4: YOLO-v1 convolution layers (input data)";
+  let rows =
+    List.map
+      (fun (l : Ft_workloads.Yolo.layer) ->
+        [ l.name; string_of_int l.c; string_of_int l.k; string_of_int l.hw;
+          Printf.sprintf "%d,%d" l.kernel l.stride;
+          Printf.sprintf "%.2f" (float_of_int (Ft_ir.Op.graph_flops (Ft_workloads.Yolo.graph l)) /. 1e9) ])
+      Ft_workloads.Yolo.layers
+  in
+  Ft_util.Table.print ~header:[ "name"; "C"; "K"; "H/W"; "k,st"; "GFLOPs" ] rows

@@ -1,0 +1,205 @@
+(* flextensor CLI: analyze operators, inspect schedule spaces, run the
+   optimizer, and print generated schedules — a command-line face for
+   the library. *)
+
+open Cmdliner
+
+let targets =
+  [ ("v100", Flextensor.Target.v100);
+    ("p100", Flextensor.Target.p100);
+    ("titanx", Flextensor.Target.titan_x);
+    ("xeon", Flextensor.Target.xeon_e5_2699_v4);
+    ("vu9p", Flextensor.Target.vu9p) ]
+
+(* Operator construction from a name and dims, e.g.
+   `gemm 1024 1024 1024` or `conv2d 1 64 128 56 56 3`. *)
+let build_graph op dims =
+  match (op, dims) with
+  | "gemv", [ m; k ] -> Flextensor.Operators.gemv ~m ~k
+  | "gemm", [ m; n; k ] -> Flextensor.Operators.gemm ~m ~n ~k
+  | "bilinear", [ m; n; k; l ] -> Flextensor.Operators.bilinear ~m ~n ~k ~l
+  | "conv1d", [ batch; in_channels; out_channels; length; kernel ] ->
+      Flextensor.Operators.conv1d ~batch ~in_channels ~out_channels ~length ~kernel
+        ~pad:(kernel / 2) ()
+  | "t1d", [ batch; in_channels; out_channels; length; kernel ] ->
+      Flextensor.Operators.conv1d_transposed ~batch ~in_channels ~out_channels
+        ~length ~kernel ~stride:2 ~pad:(kernel / 2) ()
+  | "conv2d", [ batch; in_channels; out_channels; height; width; kernel ] ->
+      Flextensor.Operators.conv2d ~batch ~in_channels ~out_channels ~height ~width
+        ~kernel ~pad:(kernel / 2) ()
+  | "conv2d", [ batch; in_channels; out_channels; height; width; kernel; stride ] ->
+      Flextensor.Operators.conv2d ~batch ~in_channels ~out_channels ~height ~width
+        ~kernel ~stride ~pad:(kernel / 2) ()
+  | "t2d", [ batch; in_channels; out_channels; height; width; kernel ] ->
+      Flextensor.Operators.conv2d_transposed ~batch ~in_channels ~out_channels
+        ~height ~width ~kernel ~stride:2 ~pad:(kernel / 2) ()
+  | "conv3d", [ batch; in_channels; out_channels; depth; height; width; kernel ] ->
+      Flextensor.Operators.conv3d ~batch ~in_channels ~out_channels ~depth ~height
+        ~width ~kernel ~pad:(kernel / 2) ()
+  | "grp", [ batch; in_channels; out_channels; height; width; kernel; groups ] ->
+      Flextensor.Operators.group_conv2d ~batch ~in_channels ~out_channels ~height
+        ~width ~kernel ~pad:(kernel / 2) ~groups ()
+  | "dep", [ batch; channels; height; width; kernel ] ->
+      Flextensor.Operators.depthwise_conv2d ~batch ~channels ~height ~width ~kernel
+        ~pad:(kernel / 2) ()
+  | "dil", [ batch; in_channels; out_channels; height; width; kernel; dilation ] ->
+      Flextensor.Operators.dilated_conv2d ~batch ~in_channels ~out_channels ~height
+        ~width ~kernel ~pad:dilation ~dilation ()
+  | "bcm", [ m; n; k; block ] -> Flextensor.Operators.bcm ~m ~n ~k ~block
+  | "shift", [ batch; channels; height; width ] ->
+      Flextensor.Operators.shift ~batch ~channels ~height ~width
+  | "yolo", [ index ] when index >= 1 && index <= 15 ->
+      Ft_workloads.Yolo.graph (Ft_workloads.Yolo.find (Printf.sprintf "C%d" index))
+  | _ ->
+      raise
+        (Invalid_argument
+           (Printf.sprintf
+              "unknown operator %s with %d dims; try e.g. `gemm 512 512 512`, \
+               `conv2d 1 64 128 56 56 3`, `yolo 7`"
+              op (List.length dims)))
+
+let op_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"OP" ~doc:"Operator name")
+
+let dims_arg =
+  Arg.(value & pos_right 0 int [] & info [] ~docv:"DIMS" ~doc:"Operator dimensions")
+
+let target_arg =
+  let target_conv = Arg.enum targets in
+  Arg.(value & opt target_conv Flextensor.Target.v100 & info [ "t"; "target" ]
+         ~docv:"TARGET" ~doc:"Hardware target: v100, p100, titanx, xeon, vu9p")
+
+let seed_arg =
+  Arg.(value & opt int 2020 & info [ "seed" ] ~docv:"SEED" ~doc:"Search seed")
+
+let trials_arg =
+  Arg.(value & opt int 60 & info [ "trials" ] ~docv:"N" ~doc:"Exploration trials")
+
+let method_arg =
+  let method_conv =
+    Arg.enum
+      [ ("q", Flextensor.Q_learning); ("p", Flextensor.P_exhaustive);
+        ("random", Flextensor.Random_walk) ]
+  in
+  Arg.(value & opt method_conv Flextensor.Q_learning & info [ "m"; "method" ]
+         ~docv:"METHOD" ~doc:"Search method: q, p, random")
+
+let with_graph op dims f =
+  match build_graph op dims with
+  | graph -> f graph
+  | exception Invalid_argument msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+
+let analyze_cmd =
+  let run op dims =
+    with_graph op dims (fun graph ->
+        let info = Flextensor.Static_analyzer.analyze graph in
+        Format.printf "%a@." Flextensor.Static_analyzer.pp info;
+        let roofline = Ft_analysis.Roofline.of_graph graph in
+        Format.printf "roofline: %a@." Ft_analysis.Roofline.pp roofline;
+        List.iter
+          (fun (name, target) ->
+            Printf.printf "  %-7s ceiling %8.1f GFLOPS (%s)\n" name
+              (Ft_analysis.Roofline.ceiling_gflops roofline target)
+              (if Ft_analysis.Roofline.memory_bound roofline target then
+                 "memory-bound" else "compute-bound"))
+          targets)
+  in
+  Cmd.v (Cmd.info "analyze" ~doc:"Static analysis of an operator (Table 3 info)")
+    Term.(const run $ op_arg $ dims_arg)
+
+let space_cmd =
+  let run op dims target =
+    with_graph op dims (fun graph ->
+        let space = Flextensor.Space.make graph target in
+        Printf.printf "target: %s\n" (Flextensor.Target.name target);
+        Printf.printf "schedule space size: %.3e points\n" (Flextensor.Space.size space);
+        Printf.printf "directions per point: %d\n"
+          (List.length (Flextensor.Neighborhood.directions space));
+        Printf.printf "feature dimension: %d\n" (Flextensor.Space.feature_dim space))
+  in
+  Cmd.v (Cmd.info "space" ~doc:"Schedule-space statistics for an operator")
+    Term.(const run $ op_arg $ dims_arg $ target_arg)
+
+let optimize_cmd =
+  let run op dims target seed trials search =
+    with_graph op dims (fun graph ->
+        let options =
+          { Flextensor.default_options with seed; n_trials = trials; search }
+        in
+        let report = Flextensor.optimize ~options graph target in
+        print_endline (Flextensor.report_summary report);
+        print_endline "\nschedule primitives:";
+        List.iter
+          (fun prim -> Printf.printf "  %s\n" (Flextensor.Primitive.to_string prim))
+          report.primitives)
+  in
+  Cmd.v (Cmd.info "optimize" ~doc:"Explore the schedule space and report the best")
+    Term.(const run $ op_arg $ dims_arg $ target_arg $ seed_arg $ trials_arg $ method_arg)
+
+let schedule_cmd =
+  let run op dims target seed trials =
+    with_graph op dims (fun graph ->
+        let options = { Flextensor.default_options with seed; n_trials = trials } in
+        let report = Flextensor.optimize ~options graph target in
+        print_string (Flextensor.generated_code report))
+  in
+  Cmd.v (Cmd.info "schedule" ~doc:"Print the generated loop nest of the best schedule")
+    Term.(const run $ op_arg $ dims_arg $ target_arg $ seed_arg $ trials_arg)
+
+let verify_cmd =
+  let run op dims target seed trials =
+    with_graph op dims (fun graph ->
+        let options = { Flextensor.default_options with seed; n_trials = trials } in
+        let report = Flextensor.optimize ~options graph target in
+        match Flextensor.verify report with
+        | Ok () -> print_endline "verified: scheduled execution matches the reference"
+        | Error msg ->
+            Printf.eprintf "verification FAILED: %s\n" msg;
+            exit 1)
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Optimize, then execute the schedule against the naive reference \
+             (use small dims; execution is point by point)")
+    Term.(const run $ op_arg $ dims_arg $ target_arg $ seed_arg $ trials_arg)
+
+let compare_cmd =
+  let run op dims target seed trials =
+    with_graph op dims (fun graph ->
+        let options = { Flextensor.default_options with seed; n_trials = trials } in
+        let report = Flextensor.optimize ~options graph target in
+        Printf.printf "FlexTensor: %.1f (GFLOPS or GB/s)\n" report.perf_value;
+        (match target with
+        | Flextensor.Target.Gpu _ ->
+            if Ft_baselines.Cudnn.supported graph then begin
+              let verdict = Ft_baselines.Cudnn.evaluate target graph in
+              Printf.printf "cuDNN (%s): %.1f\n" verdict.algo verdict.perf.gflops
+            end
+            else if Ft_baselines.Cublas.supported graph then begin
+              let _, perf = Ft_baselines.Cublas.evaluate target graph in
+              Printf.printf "cuBLAS: %.1f\n" perf.gflops
+            end;
+            let _, pt = Ft_baselines.Pytorch_native.evaluate target graph in
+            Printf.printf "PyTorch native: %.1f\n" pt.gflops
+        | Flextensor.Target.Cpu _ ->
+            if Ft_baselines.Mkldnn.supported graph then begin
+              let _, perf = Ft_baselines.Mkldnn.evaluate target graph in
+              Printf.printf "MKL-DNN: %.1f\n" perf.gflops
+            end
+        | Flextensor.Target.Fpga _ ->
+            let _, perf = Ft_baselines.Opencl_fpga.evaluate target graph in
+            Printf.printf "OpenCL baseline: %.1f\n" perf.gflops))
+  in
+  Cmd.v (Cmd.info "compare" ~doc:"Compare FlexTensor against the platform's library")
+    Term.(const run $ op_arg $ dims_arg $ target_arg $ seed_arg $ trials_arg)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default
+          (Cmd.info "flextensor" ~version:"1.0.0"
+             ~doc:"Automatic schedule exploration for tensor computation")
+          [ analyze_cmd; space_cmd; optimize_cmd; schedule_cmd; verify_cmd; compare_cmd ]))

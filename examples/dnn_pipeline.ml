@@ -1,0 +1,32 @@
+(* End-to-end DNN optimization (§6.6): partition YOLO-v1 and OverFeat
+   into fused conv+bias+ReLU sub-graphs, optimize every distinct layer,
+   and compare network latency under FlexTensor vs the AutoTVM
+   baseline.
+
+   Run with: dune exec examples/dnn_pipeline.exe *)
+
+let show (ft : Ft_dnn.Runner.network_result) (atvm : Ft_dnn.Runner.network_result) =
+  Printf.printf "\n%s end-to-end (batch 1, V100):\n" ft.network;
+  Ft_util.Table.print
+    ~header:[ "layer"; "count"; "FlexTensor ms"; "AutoTVM ms" ]
+    (List.map2
+       (fun (f : Ft_dnn.Runner.layer_time) (a : Ft_dnn.Runner.layer_time) ->
+         [
+           f.layer_name;
+           string_of_int f.occurrences;
+           Printf.sprintf "%.3f" (f.kernel_s *. 1e3);
+           Printf.sprintf "%.3f" (a.kernel_s *. 1e3);
+         ])
+       ft.layer_times atvm.layer_times);
+  Printf.printf "total: FlexTensor %.2f ms vs AutoTVM %.2f ms -> %.2fx speedup\n"
+    (ft.total_s *. 1e3) (atvm.total_s *. 1e3) (atvm.total_s /. ft.total_s)
+
+let () =
+  let target = Ft_schedule.Target.v100 in
+  let max_evals = 150 in
+  show
+    (Ft_dnn.Runner.yolo_v1 ~max_evals ~target Ft_dnn.Runner.Flextensor_q)
+    (Ft_dnn.Runner.yolo_v1 ~max_evals ~target Ft_dnn.Runner.Autotvm_baseline);
+  show
+    (Ft_dnn.Runner.overfeat ~max_evals ~target Ft_dnn.Runner.Flextensor_q)
+    (Ft_dnn.Runner.overfeat ~max_evals ~target Ft_dnn.Runner.Autotvm_baseline)

@@ -1,0 +1,70 @@
+(* New operators without library support (§6.4): the block-circulant
+   matrix multiply (BCM) and the zero-FLOP shift operator, plus a
+   custom operator written directly in the expression DSL — the
+   situation FlexTensor is built for, since no hand-tuned kernel
+   exists.
+
+   Run with: dune exec examples/new_operator.exe *)
+
+open Flextensor
+
+(* A custom operator from raw IR: transposed-B matrix multiply
+   O[i,j] = sum_k A[i,k] * B[j,k].  This is all a user writes. *)
+let matmul_bt ~m ~n ~k =
+  let open Expr in
+  let node =
+    {
+      Op.tag = "matmul_bt";
+      output = "O";
+      spatial = [ Op.axis "i" m; Op.axis "j" n ];
+      reduce = [ Op.axis "k" k ];
+      init = 0.;
+      combine = Op.Acc_sum;
+      body = Mul (Access ("A", [ v "i"; v "k" ]), Access ("B", [ v "j"; v "k" ]));
+    }
+  in
+  Op.validate_exn
+    {
+      graph_name = Printf.sprintf "matmul_bt_%dx%dx%d" m n k;
+      inputs = [ ("A", [ m; k ]); ("B", [ n; k ]) ];
+      ops = [ node ];
+      output = "O";
+    }
+
+let show name report (baseline : Perf.t) =
+  let speedup = baseline.time_s /. report.perf.time_s in
+  Printf.printf "%-12s FlexTensor %8.1f GFLOPS | hand-tuned %8.1f GFLOPS | %.2fx\n"
+    name report.perf.gflops baseline.gflops speedup
+
+let () =
+  print_endline "New operators on V100 (vs the hand-tuned GPU baseline):\n";
+
+  (* Block-circulant matrix multiply. *)
+  let bcm = Operators.bcm ~m:64 ~n:1024 ~k:1024 ~block:8 in
+  let bcm_report = optimize bcm Target.v100 in
+  let _, bcm_base = Ft_baselines.Handtuned.evaluate Target.v100 bcm in
+  show "BCM" bcm_report bcm_base;
+
+  (* Shift: zero FLOPs, pure data movement — perf reported as GB/s. *)
+  let shift = Operators.shift ~batch:1 ~channels:128 ~height:56 ~width:56 in
+  let shift_report = optimize shift Target.titan_x in
+  let _, shift_base = Ft_baselines.Handtuned.evaluate Target.titan_x shift in
+  Printf.printf "%-12s FlexTensor %8.2f ms     | hand-tuned %8.2f ms     | %.2fx (Titan X)\n"
+    "SHIFT" (shift_report.perf.time_s *. 1e3) (shift_base.time_s *. 1e3)
+    (shift_base.time_s /. shift_report.perf.time_s);
+
+  (* The custom DSL-defined operator. *)
+  let custom = matmul_bt ~m:512 ~n:512 ~k:2048 in
+  let custom_report = optimize custom Target.v100 in
+  let _, custom_base = Ft_baselines.Handtuned.evaluate Target.v100 custom in
+  show "matmul_bt" custom_report custom_base;
+
+  (* And it is still correct: verify a tiny instance. *)
+  let tiny_report =
+    optimize
+      ~options:{ default_options with n_trials = 15 }
+      (matmul_bt ~m:8 ~n:6 ~k:10) Target.v100
+  in
+  match verify tiny_report with
+  | Ok () -> print_endline "\ncustom operator verified against reference execution"
+  | Error msg -> Printf.printf "\nverification FAILED: %s\n" msg

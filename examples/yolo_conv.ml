@@ -1,0 +1,39 @@
+(* Heterogeneous optimization of one YOLO-v1 convolution layer (C7 of
+   Table 4) on all three platforms — GPU, CPU and FPGA — against each
+   platform's library baseline, reproducing the §6.3 story in miniature.
+
+   Run with: dune exec examples/yolo_conv.exe *)
+
+let () =
+  let layer = Ft_workloads.Yolo.find "C7" in
+  let graph = Ft_workloads.Yolo.graph layer in
+  Printf.printf "Layer %s: %dx%d channels, %dx%d input, %dx%d kernel\n\n"
+    layer.name layer.c layer.k layer.hw layer.hw layer.kernel layer.kernel;
+  let rows =
+    List.map
+      (fun (target, baseline_name, baseline_gflops) ->
+        let report = Flextensor.optimize graph target in
+        [
+          Flextensor.Target.name target;
+          Printf.sprintf "%.1f" report.perf.gflops;
+          Printf.sprintf "%.1f" baseline_gflops;
+          Ft_util.Table.fmt_ratio (report.perf.gflops /. baseline_gflops);
+          baseline_name;
+        ])
+      [
+        ( Flextensor.Target.v100,
+          "cuDNN",
+          (Ft_baselines.Cudnn.evaluate Flextensor.Target.v100 graph).perf.gflops );
+        ( Flextensor.Target.xeon_e5_2699_v4,
+          "MKL-DNN",
+          (snd (Ft_baselines.Mkldnn.evaluate Flextensor.Target.xeon_e5_2699_v4 graph))
+            .gflops );
+        ( Flextensor.Target.vu9p,
+          "OpenCL baseline",
+          (snd (Ft_baselines.Opencl_fpga.evaluate Flextensor.Target.vu9p graph)).gflops
+        );
+      ]
+  in
+  Ft_util.Table.print
+    ~header:[ "platform"; "FlexTensor GFLOPS"; "baseline GFLOPS"; "speedup"; "baseline" ]
+    rows

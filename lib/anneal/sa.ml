@@ -1,0 +1,41 @@
+(* Simulated-annealing starting-point selection (§5.1): a visited point
+   [p] with performance [Ep] is chosen with probability proportional to
+   exp(-gamma * (Ebest - Ep) / Ebest), where Ebest is the best
+   performance seen so far.  Points close to the best are exponentially
+   more likely to seed the next exploration step. *)
+
+let weight ~gamma ~best value =
+  if best <= 0. then 1. else exp (-.gamma *. (best -. value) /. best)
+
+let weighted_pick rng weighted =
+  let total = List.fold_left (fun acc (_, w) -> acc +. w) 0. weighted in
+  if total <= 0. then fst (Ft_util.Rng.choose rng weighted)
+  else
+    let threshold = Ft_util.Rng.float rng total in
+    let rec go acc = function
+      | [] -> invalid_arg "Sa.weighted_pick: empty"
+      | [ (point, _) ] -> point
+      | (point, w) :: rest ->
+          let acc = acc +. w in
+          if acc >= threshold then point else go acc rest
+    in
+    go 0. weighted
+
+let select rng ~gamma ~count points =
+  match points with
+  | [] -> []
+  | _ ->
+      let best = List.fold_left (fun acc (_, value) -> Float.max acc value) 0. points in
+      let weighted =
+        List.map (fun (point, value) -> (point, weight ~gamma ~best value)) points
+      in
+      List.init count (fun _ -> weighted_pick rng weighted)
+
+(* Metropolis acceptance for a plain annealing walk (used by the
+   AutoTVM baseline's candidate proposal). *)
+let accept rng ~temperature ~current ~candidate =
+  candidate >= current
+  ||
+  let scale = Float.max 1e-9 (Float.max (Float.abs current) 1.) in
+  temperature > 0.
+  && Ft_util.Rng.float rng 1.0 < exp ((candidate -. current) /. (temperature *. scale))

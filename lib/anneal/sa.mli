@@ -1,0 +1,16 @@
+(** Simulated annealing (§5.1): starting-point selection over the set
+    of already-evaluated schedule points, and Metropolis acceptance for
+    annealing walks. *)
+
+(** Selection weight exp(-gamma . (best - value) / best). *)
+val weight : gamma:float -> best:float -> float -> float
+
+(** [select rng ~gamma ~count points] draws [count] starting points
+    (with replacement) from [(point, performance)] pairs, weighted
+    towards high performers. Empty input yields []. *)
+val select : Ft_util.Rng.t -> gamma:float -> count:int -> ('a * float) list -> 'a list
+
+(** Metropolis acceptance of a candidate objective value given the
+    current one at a temperature (relative scale). *)
+val accept :
+  Ft_util.Rng.t -> temperature:float -> current:float -> candidate:float -> bool

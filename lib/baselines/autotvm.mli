@@ -1,0 +1,27 @@
+(** AutoTVM baseline (§6.5): template-restricted tuning knobs, a
+    gradient-boosted-tree cost model, simulated-annealing candidate
+    proposal and batched measurements.
+
+    Two template generations are provided: [`Divisor] models mature
+    mainline templates (full divisor-split knobs), [`Paper_era] models
+    the 2019 templates the paper actually compared against (no virtual
+    threading, snapped power-of-two knobs, fixed unrolling) — see the
+    comment in the implementation and EXPERIMENTS.md. *)
+
+type template = [ `Divisor | `Paper_era ]
+
+(** Size of the template's knob space (for the §6.5 space-ratio
+    comparison). Default [`Divisor]. *)
+val template_size : ?template:template -> Ft_schedule.Space.t -> float
+
+val search :
+  ?seed:int ->
+  ?n_rounds:int ->
+  ?batch:int ->
+  ?population:int ->
+  ?template:template ->
+  ?max_evals:int ->
+  ?flops_scale:float ->
+  ?mode:Ft_explore.Evaluator.mode ->
+  Ft_schedule.Space.t ->
+  Ft_explore.Driver.result

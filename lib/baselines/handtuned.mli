@@ -1,0 +1,5 @@
+(** Hand-tuned GPU baseline of §6.4 (4-level tiling, deep unrolling,
+    fixed factors). *)
+
+val evaluate :
+  Ft_schedule.Target.t -> Ft_ir.Op.graph -> Ft_schedule.Config.t * Ft_hw.Perf.t

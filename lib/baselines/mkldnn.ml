@@ -1,0 +1,18 @@
+(* MKL-DNN stand-in: JIT-generated NCHWc kernels — a candidate set of
+   vectorized CPU schedules.  The JIT emits one generic kernel per
+   layout, so shape-specific loop orders, unroll depths and reduction
+   blocking are left on the table; the scale factor models that
+   residual inefficiency relative to a fully specialized schedule. *)
+
+let jit_scale = 1.1
+
+let supported graph =
+  match Op_kind.classify graph with
+  | Op_kind.Matmul_like | Op_kind.Conv _ | Op_kind.Group_conv
+  | Op_kind.Dilated_conv | Op_kind.Depthwise_conv ->
+      true
+  | Op_kind.Transposed_conv | Op_kind.Shift_like | Op_kind.Other -> false
+
+let evaluate target graph =
+  let space = Ft_schedule.Space.make graph target in
+  Library.best_of ~flops_scale:jit_scale space (Library.cpu_candidates space)

@@ -1,0 +1,8 @@
+(** MKL-DNN baseline: best-of-candidate NCHWc-vectorized CPU
+    schedules. *)
+
+val jit_scale : float
+val supported : Ft_ir.Op.graph -> bool
+
+val evaluate :
+  Ft_schedule.Target.t -> Ft_ir.Op.graph -> Ft_schedule.Config.t * Ft_hw.Perf.t

@@ -1,0 +1,53 @@
+open Ft_ir
+
+(* Coarse operator classification used by the library baselines to
+   mimic real dispatch behaviour (cuDNN picking Winograd, reusing C2D
+   kernels for grouped/dilated convolution, and so on). *)
+
+type t =
+  | Matmul_like  (* GEMV / GEMM / bilinear / BCM: BLAS territory *)
+  | Conv of { kernel : int; strided : bool }
+  | Transposed_conv
+  | Group_conv
+  | Depthwise_conv
+  | Dilated_conv
+  | Shift_like  (* zero-FLOP data movement *)
+  | Other
+
+let rec spatial_stride_gt1 spatial_names = function
+  | Expr.Imul (Expr.Ivar name, Expr.Iconst c) | Expr.Imul (Expr.Iconst c, Expr.Ivar name)
+    ->
+      c > 1 && List.mem name spatial_names
+  | Expr.Iadd (a, b) | Expr.Isub (a, b) | Expr.Imul (a, b) | Expr.Idiv (a, b)
+  | Expr.Imod (a, b) ->
+      spatial_stride_gt1 spatial_names a || spatial_stride_gt1 spatial_names b
+  | Expr.Ivar _ | Expr.Iconst _ -> false
+
+let classify graph =
+  let node = Ft_schedule.Space.compute_node graph in
+  let prefix p = String.length node.tag >= String.length p
+                 && String.equal (String.sub node.tag 0 (String.length p)) p in
+  if prefix "gemv" || prefix "gemm" || prefix "bilinear" || prefix "bcm" then
+    Matmul_like
+  else if prefix "t1d" || prefix "t2d" || prefix "t3d" then Transposed_conv
+  else if prefix "grp" then Group_conv
+  else if prefix "dep" then Depthwise_conv
+  else if prefix "dil" then Dilated_conv
+  else if prefix "shift" then Shift_like
+  else if prefix "conv" then
+    let kernel =
+      match
+        List.find_opt (fun (a : Op.axis) -> String.equal a.axis_name "rx") node.reduce
+      with
+      | Some a -> a.extent
+      | None -> 1
+    in
+    let spatial_names = List.map (fun (a : Op.axis) -> a.axis_name) node.spatial in
+    let strided =
+      List.exists
+        (fun (_, indices) ->
+          List.exists (spatial_stride_gt1 spatial_names) indices)
+        (Expr.accesses node.body)
+    in
+    Conv { kernel; strided }
+  else Other

@@ -1,0 +1,13 @@
+(** Operator classification driving baseline library dispatch. *)
+
+type t =
+  | Matmul_like
+  | Conv of { kernel : int; strided : bool }
+  | Transposed_conv
+  | Group_conv
+  | Depthwise_conv
+  | Dilated_conv
+  | Shift_like
+  | Other
+
+val classify : Ft_ir.Op.graph -> t

@@ -1,0 +1,5 @@
+(** Hand-optimized OpenCL FPGA baseline (Zhang et al., FPGA'15 style
+    fixed design point). *)
+
+val evaluate :
+  Ft_schedule.Target.t -> Ft_ir.Op.graph -> Ft_schedule.Config.t * Ft_hw.Perf.t

@@ -1,0 +1,138 @@
+(* The public face of the framework: describe a tensor computation
+   mathematically (Operators / Op), pick a hardware target, call
+   [optimize].  No schedule or template is ever written by the user —
+   the front-end generates the space from static analysis and the
+   back-end explores it (§3). *)
+
+module Expr = Ft_ir.Expr
+module Op = Ft_ir.Op
+module Operators = Ft_ir.Operators
+module Static_analyzer = Ft_analysis.Static_analyzer
+module Target = Ft_schedule.Target
+module Space = Ft_schedule.Space
+module Config = Ft_schedule.Config
+module Primitive = Ft_schedule.Primitive
+module Neighborhood = Ft_schedule.Neighborhood
+module Perf = Ft_hw.Perf
+module Lowering = Ft_lower.Lowering
+module Pretty = Ft_lower.Pretty
+module Verify = Ft_lower.Verify
+module Driver = Ft_explore.Driver
+
+type search_method = Q_learning | P_exhaustive | Random_walk
+
+type options = {
+  seed : int;
+  n_trials : int;
+  n_starts : int;
+  steps : int;
+  gamma : float;
+  max_evals : int option;
+  restarts : int;  (* independent searches; the best result wins *)
+  search : search_method;
+  flops_scale : float;
+}
+
+let default_options =
+  {
+    seed = 2020;
+    n_trials = 60;
+    n_starts = 4;
+    steps = 5;
+    gamma = 2.0;
+    max_evals = None;
+    restarts = 1;
+    search = Q_learning;
+    flops_scale = 1.0;
+  }
+
+type report = {
+  graph : Op.graph;
+  target : Target.t;
+  space : Space.t;
+  space_size : float;
+  analysis : Static_analyzer.graph_info;
+  config : Config.t;
+  primitives : Primitive.t list;
+  perf : Perf.t;
+  perf_value : float;
+  n_evals : int;
+  sim_time_s : float;
+  history : Driver.sample list;
+}
+
+let search_name = function
+  | Q_learning -> "Q-method"
+  | P_exhaustive -> "P-method"
+  | Random_walk -> "random"
+
+let run_one_search options seed space =
+  match options.search with
+  | Q_learning ->
+      Ft_explore.Q_method.search ~seed ~n_trials:options.n_trials
+        ~n_starts:options.n_starts ~steps:options.steps ~gamma:options.gamma
+        ?max_evals:options.max_evals ~flops_scale:options.flops_scale space
+  | P_exhaustive ->
+      Ft_explore.P_method.search ~seed ~n_trials:options.n_trials
+        ~n_starts:options.n_starts ~gamma:options.gamma
+        ?max_evals:options.max_evals ~flops_scale:options.flops_scale space
+  | Random_walk ->
+      Ft_explore.Random_method.search ~seed
+        ~n_trials:(options.n_trials * options.n_starts)
+        ?max_evals:options.max_evals ~flops_scale:options.flops_scale space
+
+(* Rugged landscapes reward independent restarts; results are merged by
+   keeping the best run and summing the exploration accounting. *)
+let run_search options space =
+  let restarts = max 1 options.restarts in
+  let runs =
+    List.init restarts (fun i -> run_one_search options (options.seed + (i * 57)) space)
+  in
+  match runs with
+  | [] -> assert false
+  | first :: rest ->
+      let best =
+        List.fold_left
+          (fun (acc : Driver.result) (run : Driver.result) ->
+            if run.best_value > acc.best_value then run else acc)
+          first rest
+      in
+      {
+        best with
+        n_evals = List.fold_left (fun acc (r : Driver.result) -> acc + r.n_evals) 0 runs;
+        sim_time_s =
+          List.fold_left (fun acc (r : Driver.result) -> acc +. r.sim_time_s) 0. runs;
+      }
+
+let optimize ?(options = default_options) graph target =
+  let graph = Op.validate_exn graph in
+  let space = Space.make graph target in
+  let result = run_search options space in
+  {
+    graph;
+    target;
+    space;
+    space_size = Space.size space;
+    analysis = Static_analyzer.analyze graph;
+    config = result.best_config;
+    primitives = Primitive.of_config space result.best_config;
+    perf = result.best_perf;
+    perf_value = result.best_value;
+    n_evals = result.n_evals;
+    sim_time_s = result.sim_time_s;
+    history = result.history;
+  }
+
+(* Lowered pseudo-code of the optimized schedule. *)
+let generated_code report =
+  Pretty.render (Lowering.lower report.space report.config)
+
+(* Check the optimized schedule end-to-end against the naive reference.
+   Execution is point-by-point, so use this on small graphs. *)
+let verify ?seed ?tol report = Verify.check ?seed ?tol report.space report.config
+
+let report_summary report =
+  Format.asprintf
+    "%s on %s: %a (space %.2e, %d evaluations, %.0f simulated seconds)"
+    report.graph.Op.graph_name (Target.name report.target) Perf.pp report.perf
+    report.space_size report.n_evals report.sim_time_s

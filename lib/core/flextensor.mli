@@ -1,0 +1,77 @@
+(** FlexTensor: automatic schedule exploration and optimization for
+    tensor computations on heterogeneous systems (ASPLOS 2020).
+
+    Typical use:
+
+    {[
+      let graph = Flextensor.Operators.gemm ~m:1024 ~n:1024 ~k:1024 in
+      let report = Flextensor.optimize graph Flextensor.Target.v100 in
+      print_string (Flextensor.generated_code report)
+    ]}
+
+    The user writes only the mathematical description; the front-end
+    analyses it and generates a hardware-specific schedule space, and
+    the back-end explores that space with simulated annealing +
+    Q-learning. *)
+
+module Expr = Ft_ir.Expr
+module Op = Ft_ir.Op
+module Operators = Ft_ir.Operators
+module Static_analyzer = Ft_analysis.Static_analyzer
+module Target = Ft_schedule.Target
+module Space = Ft_schedule.Space
+module Config = Ft_schedule.Config
+module Primitive = Ft_schedule.Primitive
+module Neighborhood = Ft_schedule.Neighborhood
+module Perf = Ft_hw.Perf
+module Lowering = Ft_lower.Lowering
+module Pretty = Ft_lower.Pretty
+module Verify = Ft_lower.Verify
+module Driver = Ft_explore.Driver
+
+type search_method = Q_learning | P_exhaustive | Random_walk
+
+type options = {
+  seed : int;
+  n_trials : int;
+  n_starts : int;  (** starting points per trial (§5.1) *)
+  steps : int;  (** moves per starting point *)
+  gamma : float;  (** annealing selectivity *)
+  max_evals : int option;  (** hard measurement budget (per restart) *)
+  restarts : int;  (** independent searches; the best result wins *)
+  search : search_method;
+  flops_scale : float;  (** compute-FLOP scale (algorithmic factors) *)
+}
+
+val default_options : options
+
+type report = {
+  graph : Op.graph;
+  target : Target.t;
+  space : Space.t;
+  space_size : float;
+  analysis : Static_analyzer.graph_info;
+  config : Config.t;
+  primitives : Primitive.t list;
+  perf : Perf.t;
+  perf_value : float;  (** GFLOPS (or GB/s for zero-FLOP operators) *)
+  n_evals : int;
+  sim_time_s : float;  (** simulated exploration time *)
+  history : Driver.sample list;
+}
+
+val search_name : search_method -> string
+
+(** Optimize a tensor computation for a target.  Validates the graph,
+    generates the schedule space, explores it, and returns the best
+    schedule with its predicted performance. *)
+val optimize : ?options:options -> Op.graph -> Target.t -> report
+
+(** Pseudo-C rendering of the optimized schedule's loop nest. *)
+val generated_code : report -> string
+
+(** End-to-end semantic check of the optimized schedule (meant for
+    small graphs — execution is point-by-point). *)
+val verify : ?seed:int -> ?tol:float -> report -> (unit, string) result
+
+val report_summary : report -> string

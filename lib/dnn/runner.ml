@@ -1,0 +1,92 @@
+(* End-to-end DNN optimization (§6.6): partition the network into
+   convolution sub-graphs with fused element-wise epilogues, optimize
+   each distinct layer once with the chosen method, and sum per-layer
+   latencies over the full layer sequence. *)
+
+type optimizer = Flextensor_q | Autotvm_baseline
+
+type layer_time = {
+  layer_name : string;
+  occurrences : int;
+  kernel_s : float;  (* one execution of the optimized kernel *)
+  epilogue_s : float;  (* extra cost when the epilogue is not fused *)
+}
+
+type network_result = {
+  network : string;
+  optimizer_name : string;
+  layer_times : layer_time list;
+  total_s : float;
+}
+
+let optimizer_name = function
+  | Flextensor_q -> "FlexTensor"
+  | Autotvm_baseline -> "AutoTVM"
+
+let optimize_layer ?(seed = 2020) ?(max_evals = 250) optimizer target graph =
+  let space = Ft_schedule.Space.make graph target in
+  let result =
+    match optimizer with
+    | Flextensor_q -> Ft_explore.Q_method.search ~seed ~n_trials:1000 ~max_evals space
+    | Autotvm_baseline ->
+        Ft_baselines.Autotvm.search ~seed ~n_rounds:1000 ~max_evals space
+  in
+  result.best_perf.Ft_hw.Perf.time_s
+
+(* [layers] are (name, conv graph, occurrence count); identical layers
+   are optimized once (YOLO-v1 repeats C7/C8 four times). *)
+let run ?(seed = 2020) ?(max_evals = 250) ?(fused = true) ~network ~target layers
+    optimizer =
+  let layer_times =
+    List.map
+      (fun (layer_name, graph, occurrences) ->
+        let graph = if fused then Fusion.with_bias_relu graph else graph in
+        let kernel_s = optimize_layer ~seed ~max_evals optimizer target graph in
+        let epilogue_s =
+          if fused then 0. else Fusion.unfused_epilogue_time target graph
+        in
+        { layer_name; occurrences; kernel_s; epilogue_s })
+      layers
+  in
+  let total_s =
+    List.fold_left
+      (fun acc t -> acc +. (float_of_int t.occurrences *. (t.kernel_s +. t.epilogue_s)))
+      0. layer_times
+  in
+  { network; optimizer_name = optimizer_name optimizer; layer_times; total_s }
+
+let count_occurrences layers =
+  let tally = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (name, graph) ->
+      match Hashtbl.find_opt tally name with
+      | Some (g, n) -> Hashtbl.replace tally name (g, n + 1)
+      | None ->
+          Hashtbl.add tally name (graph, 1);
+          order := name :: !order)
+    layers;
+  List.rev_map
+    (fun name ->
+      let graph, n = Hashtbl.find tally name in
+      (name, graph, n))
+    !order
+
+let yolo_v1 ?seed ?max_evals ?fused ~target optimizer =
+  let layers =
+    count_occurrences
+      (List.map
+         (fun layer -> (layer.Ft_workloads.Yolo.name, Ft_workloads.Yolo.graph layer))
+         Ft_workloads.Yolo.full_network)
+  in
+  run ?seed ?max_evals ?fused ~network:"YOLO-v1" ~target layers optimizer
+
+let overfeat ?seed ?max_evals ?fused ~target optimizer =
+  let layers =
+    count_occurrences
+      (List.map
+         (fun layer ->
+           (layer.Ft_workloads.Overfeat.name, Ft_workloads.Overfeat.graph layer))
+         Ft_workloads.Overfeat.layers)
+  in
+  run ?seed ?max_evals ?fused ~network:"OverFeat" ~target layers optimizer

@@ -1,0 +1,42 @@
+(** End-to-end DNN latency under different operator optimizers
+    (§6.6). *)
+
+type optimizer = Flextensor_q | Autotvm_baseline
+
+type layer_time = {
+  layer_name : string;
+  occurrences : int;
+  kernel_s : float;
+  epilogue_s : float;
+}
+
+type network_result = {
+  network : string;
+  optimizer_name : string;
+  layer_times : layer_time list;
+  total_s : float;
+}
+
+val optimizer_name : optimizer -> string
+
+(** Optimize one layer graph; returns predicted kernel seconds. *)
+val optimize_layer :
+  ?seed:int -> ?max_evals:int -> optimizer -> Ft_schedule.Target.t ->
+  Ft_ir.Op.graph -> float
+
+(** Deduplicate a layer sequence into (name, graph, count). *)
+val count_occurrences :
+  (string * Ft_ir.Op.graph) list -> (string * Ft_ir.Op.graph * int) list
+
+val run :
+  ?seed:int -> ?max_evals:int -> ?fused:bool ->
+  network:string -> target:Ft_schedule.Target.t ->
+  (string * Ft_ir.Op.graph * int) list -> optimizer -> network_result
+
+val yolo_v1 :
+  ?seed:int -> ?max_evals:int -> ?fused:bool ->
+  target:Ft_schedule.Target.t -> optimizer -> network_result
+
+val overfeat :
+  ?seed:int -> ?max_evals:int -> ?fused:bool ->
+  target:Ft_schedule.Target.t -> optimizer -> network_result

@@ -1,0 +1,87 @@
+type sample = { at_s : float; n_evals : int; best_value : float }
+
+type result = {
+  method_name : string;
+  best_config : Ft_schedule.Config.t;
+  best_value : float;
+  best_perf : Ft_hw.Perf.t;
+  history : sample list;  (* best-so-far progression, chronological *)
+  n_evals : int;
+  sim_time_s : float;
+}
+
+type state = {
+  evaluator : Evaluator.t;
+  visited : (string, unit) Hashtbl.t;
+  mutable evaluated : (Ft_schedule.Config.t * float) list;  (* the set H *)
+  mutable best : Ft_schedule.Config.t * float;
+  mutable samples : sample list;  (* reverse chronological *)
+}
+
+let visit state cfg = Hashtbl.replace state.visited (Ft_schedule.Config.key cfg) ()
+
+let seen state cfg = Hashtbl.mem state.visited (Ft_schedule.Config.key cfg)
+
+let record_sample state =
+  state.samples <-
+    {
+      at_s = Evaluator.clock state.evaluator;
+      n_evals = Evaluator.n_evals state.evaluator;
+      best_value = snd state.best;
+    }
+    :: state.samples
+
+(* Evaluate a point, fold it into H, update the incumbent. *)
+let evaluate state cfg =
+  let value = Evaluator.measure state.evaluator cfg in
+  visit state cfg;
+  state.evaluated <- (cfg, value) :: state.evaluated;
+  if value > snd state.best then state.best <- (cfg, value);
+  record_sample state;
+  value
+
+let init evaluator initial =
+  match initial with
+  | [] -> invalid_arg "Driver.init: need at least one initial point"
+  | first :: _ ->
+      let state =
+        {
+          evaluator;
+          visited = Hashtbl.create 1024;
+          evaluated = [];
+          best = (first, 0.);
+          samples = [];
+        }
+      in
+      List.iter (fun cfg -> ignore (evaluate state cfg)) initial;
+      state
+
+(* Default H seeding: the naive point, the two generic per-hardware
+   heuristic points (the same knowledge the front-end's pruning bakes
+   into the space), and a handful of random ones. *)
+let seed_points ?(heuristics = true) rng space n_random =
+  (Ft_schedule.Space.default_config space
+  :: (if heuristics then Ft_schedule.Heuristics.seed_configs space else []))
+  @ List.init n_random (fun _ -> Ft_schedule.Space.random_config rng space)
+
+let finish ~method_name state =
+  let best_config, best_value = state.best in
+  {
+    method_name;
+    best_config;
+    best_value;
+    best_perf = Evaluator.perf_of state.evaluator best_config;
+    history = List.rev state.samples;
+    n_evals = Evaluator.n_evals state.evaluator;
+    sim_time_s = Evaluator.clock state.evaluator;
+  }
+
+(* Simulated time at which a run first reached [fraction] of its final
+   best value — the "time to similar performance" metric of Fig 6d. *)
+let time_to_reach result ~fraction =
+  let threshold = fraction *. result.best_value in
+  let rec go = function
+    | [] -> result.sim_time_s
+    | (s : sample) :: rest -> if s.best_value >= threshold then s.at_s else go rest
+  in
+  go result.history

@@ -1,0 +1,44 @@
+(** Shared bookkeeping for the search methods: the evaluated set H,
+    the incumbent best, the visited set (the paper's exploration never
+    revisits points), and the best-so-far timeline. *)
+
+type sample = { at_s : float; n_evals : int; best_value : float }
+
+type result = {
+  method_name : string;
+  best_config : Ft_schedule.Config.t;
+  best_value : float;
+  best_perf : Ft_hw.Perf.t;
+  history : sample list;
+  n_evals : int;
+  sim_time_s : float;
+}
+
+type state = {
+  evaluator : Evaluator.t;
+  visited : (string, unit) Hashtbl.t;
+  mutable evaluated : (Ft_schedule.Config.t * float) list;
+  mutable best : Ft_schedule.Config.t * float;
+  mutable samples : sample list;
+}
+
+val visit : state -> Ft_schedule.Config.t -> unit
+val seen : state -> Ft_schedule.Config.t -> bool
+
+(** Measure a point, add it to H/visited, update the incumbent. *)
+val evaluate : state -> Ft_schedule.Config.t -> float
+
+(** Evaluate the initial points and build the search state. *)
+val init : Evaluator.t -> Ft_schedule.Config.t list -> state
+
+(** Default initial H: the naive config, the generic per-hardware
+    heuristic points (unless [heuristics] is false), and [n] random
+    points. *)
+val seed_points :
+  ?heuristics:bool ->
+  Ft_util.Rng.t -> Ft_schedule.Space.t -> int -> Ft_schedule.Config.t list
+
+val finish : method_name:string -> state -> result
+
+(** Simulated time to first reach [fraction] of the run's final best. *)
+val time_to_reach : result -> fraction:float -> float

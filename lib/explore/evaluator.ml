@@ -1,0 +1,66 @@
+type mode = Hardware_measure | Model_query
+
+type t = {
+  space : Ft_schedule.Space.t;
+  flops_scale : float;
+  mode : mode;
+  cache : (string, float * Ft_hw.Perf.t) Hashtbl.t;
+  mutable clock_s : float;
+  mutable n_evals : int;
+}
+
+(* On CPU/GPU the paper measures on the device (compile + 3 runs + host
+   overhead); on FPGA synthesis is far too slow, so it queries the
+   analytical model (§5.2).  The simulated clock charges each mode its
+   respective cost so that exploration-time comparisons are
+   meaningful. *)
+let default_mode = function
+  | Ft_schedule.Target.Gpu _ | Ft_schedule.Target.Cpu _ -> Hardware_measure
+  | Ft_schedule.Target.Fpga _ -> Model_query
+
+let compile_cost = 0.3
+let host_overhead = 0.05
+let runs_per_measure = 3
+let failed_compile_cost = 0.1
+let model_query_cost = 0.002
+let cache_hit_cost = 0.0005
+
+let create ?(flops_scale = 1.0) ?mode space =
+  let mode =
+    match mode with Some m -> m | None -> default_mode space.Ft_schedule.Space.target
+  in
+  { space; flops_scale; mode; cache = Hashtbl.create 256; clock_s = 0.; n_evals = 0 }
+
+let charge t seconds = t.clock_s <- t.clock_s +. seconds
+
+let measure_cost t (perf : Ft_hw.Perf.t) =
+  match t.mode with
+  | Model_query -> model_query_cost
+  | Hardware_measure ->
+      if perf.valid then
+        compile_cost +. host_overhead
+        +. (float_of_int runs_per_measure *. Float.min perf.time_s 1.0)
+      else failed_compile_cost
+
+(* Returns the performance value E of a point, charging the simulated
+   clock; repeated queries of the same point hit the cache. *)
+let measure t cfg =
+  let key = Ft_schedule.Config.key cfg in
+  match Hashtbl.find_opt t.cache key with
+  | Some (value, _) ->
+      charge t cache_hit_cost;
+      value
+  | None ->
+      let perf = Ft_hw.Cost.evaluate ~flops_scale:t.flops_scale t.space cfg in
+      let value = Ft_hw.Cost.perf_value t.space perf in
+      Hashtbl.replace t.cache key (value, perf);
+      t.n_evals <- t.n_evals + 1;
+      charge t (measure_cost t perf);
+      value
+
+let perf_of t cfg =
+  ignore (measure t cfg);
+  snd (Hashtbl.find t.cache (Ft_schedule.Config.key cfg))
+
+let clock t = t.clock_s
+let n_evals t = t.n_evals

@@ -1,0 +1,30 @@
+(** Point evaluation with a simulated wall clock.
+
+    The searches only see a scalar performance value per point; this
+    module also accounts for how long obtaining that value would have
+    taken on the paper's setup (real measurement on CPU/GPU, analytical
+    model query on FPGA), which is what the exploration-time figures
+    (6d, 7) plot. *)
+
+type mode = Hardware_measure | Model_query
+
+type t
+
+val default_mode : Ft_schedule.Target.t -> mode
+
+val create : ?flops_scale:float -> ?mode:mode -> Ft_schedule.Space.t -> t
+
+(** Add search bookkeeping time to the simulated clock. *)
+val charge : t -> float -> unit
+
+(** Performance value E of a point (cached), charging the clock. *)
+val measure : t -> Ft_schedule.Config.t -> float
+
+(** Full model result for a point (measures it if new). *)
+val perf_of : t -> Ft_schedule.Config.t -> Ft_hw.Perf.t
+
+(** Simulated seconds elapsed. *)
+val clock : t -> float
+
+(** Distinct points evaluated. *)
+val n_evals : t -> int

@@ -1,0 +1,35 @@
+(* The exhaustive-direction variant of §6.5: same annealing starting
+   points as the Q-method, but every valid direction of every starting
+   point is measured each trial — no learned guidance. *)
+
+let search ?(seed = 2020) ?(n_trials = 60) ?(n_starts = 4) ?(gamma = 2.0)
+    ?(explore_prob = 0.15) ?max_evals ?(heuristic_seeds = true) ?flops_scale ?mode space =
+  let rng = Ft_util.Rng.create seed in
+  let evaluator = Evaluator.create ?flops_scale ?mode space in
+  let state = Driver.init evaluator (Driver.seed_points ~heuristics:heuristic_seeds rng space 4) in
+  let out_of_budget () =
+    match max_evals with
+    | Some cap -> Evaluator.n_evals evaluator >= cap
+    | None -> false
+  in
+  let trial = ref 0 in
+  while !trial < n_trials && not (out_of_budget ()) do
+    incr trial;
+    if Ft_util.Rng.float rng 1.0 < explore_prob then begin
+      let cfg = Ft_schedule.Space.random_config rng space in
+      if not (Driver.seen state cfg) then ignore (Driver.evaluate state cfg)
+    end;
+    let starts =
+      Ft_anneal.Sa.select rng ~gamma ~count:n_starts
+        (List.map (fun point -> (point, snd point)) state.evaluated)
+    in
+    List.iter
+      (fun (cfg, _) ->
+        List.iter
+          (fun (_, next) ->
+            if not (Driver.seen state next || out_of_budget ()) then
+              ignore (Driver.evaluate state next))
+          (Ft_schedule.Neighborhood.neighbors space cfg))
+      starts
+  done;
+  Driver.finish ~method_name:"P-method" state

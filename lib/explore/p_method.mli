@@ -1,0 +1,15 @@
+(** The P-method baseline of §6.5: annealing starting points with
+    exhaustive direction evaluation (no Q-learning). *)
+
+val search :
+  ?seed:int ->
+  ?n_trials:int ->
+  ?n_starts:int ->
+  ?gamma:float ->
+  ?explore_prob:float ->
+  ?max_evals:int ->
+  ?heuristic_seeds:bool ->
+  ?flops_scale:float ->
+  ?mode:Evaluator.mode ->
+  Ft_schedule.Space.t ->
+  Driver.result

@@ -1,0 +1,83 @@
+(* The paper's full back-end (§5.1): simulated annealing chooses which
+   evaluated points to expand, and the Q-network chooses the single
+   direction to move from each — one measurement per starting point per
+   trial. *)
+
+let agent_query_cost = 0.001
+let training_round_cost = 0.05
+
+let valid_actions space state directions cfg =
+  let indexed = List.mapi (fun i move -> (i, move)) (Array.to_list directions) in
+  List.filter_map
+    (fun (i, move) ->
+      match Ft_schedule.Neighborhood.apply space cfg move with
+      | Some next when not (Driver.seen state next) -> Some i
+      | Some _ | None -> None)
+    indexed
+
+let search ?(seed = 2020) ?(n_trials = 60) ?(n_starts = 4) ?(steps = 5)
+    ?(gamma = 2.0) ?(explore_prob = 0.15) ?(epsilon = 0.3) ?max_evals ?(heuristic_seeds = true) ?flops_scale ?mode space =
+  let rng = Ft_util.Rng.create seed in
+  let evaluator = Evaluator.create ?flops_scale ?mode space in
+  let state = Driver.init evaluator (Driver.seed_points ~heuristics:heuristic_seeds rng space 4) in
+  let directions = Array.of_list (Ft_schedule.Neighborhood.directions space) in
+  let agent =
+    Ft_qlearn.Agent.create ~epsilon (Ft_util.Rng.split rng)
+      ~feature_dim:(Ft_schedule.Space.feature_dim space)
+      ~n_actions:(Array.length directions)
+  in
+  let out_of_budget () =
+    match max_evals with
+    | Some cap -> Evaluator.n_evals evaluator >= cap
+    | None -> false
+  in
+  let features = Ft_schedule.Space.features space in
+  let rec walk cfg value step =
+    if step > 0 && not (out_of_budget ()) then
+      let valid = valid_actions space state directions cfg in
+      Evaluator.charge evaluator agent_query_cost;
+      match Ft_qlearn.Agent.select agent ~state:(features cfg) ~valid with
+      | None -> ()
+      | Some action -> (
+          match Ft_schedule.Neighborhood.apply space cfg directions.(action) with
+          | None -> ()
+          | Some next ->
+              let next_value = Driver.evaluate state next in
+              (* Normalized reward (Ee - Ep) / Ep; a zero-performance
+                 start rewards any valid improvement. *)
+              let reward =
+                if value > 0. then (next_value -. value) /. value
+                else if next_value > 0. then 1.
+                else 0.
+              in
+              let next_valid = valid_actions space state directions next in
+              (match
+                 Ft_qlearn.Agent.record agent
+                   {
+                     state = features cfg;
+                     action;
+                     reward;
+                     next_state = features next;
+                     next_valid;
+                   }
+               with
+              | Some _loss -> Evaluator.charge evaluator training_round_cost
+              | None -> ());
+              walk next next_value (step - 1))
+  in
+  let trial = ref 0 in
+  while !trial < n_trials && not (out_of_budget ()) do
+    incr trial;
+    (* Occasional uniform sample keeps the annealing pool from
+       collapsing into one basin of the rugged landscape. *)
+    if Ft_util.Rng.float rng 1.0 < explore_prob then begin
+      let cfg = Ft_schedule.Space.random_config rng space in
+      if not (Driver.seen state cfg) then ignore (Driver.evaluate state cfg)
+    end;
+    let starts =
+      Ft_anneal.Sa.select rng ~gamma ~count:n_starts
+        (List.map (fun point -> (point, snd point)) state.evaluated)
+    in
+    List.iter (fun (cfg, value) -> walk cfg value steps) starts
+  done;
+  Driver.finish ~method_name:"Q-method" state

@@ -1,0 +1,17 @@
+(** FlexTensor's Q-method: simulated-annealing starting points +
+    Q-learning direction selection (§5.1). *)
+
+val search :
+  ?seed:int ->
+  ?n_trials:int ->
+  ?n_starts:int ->
+  ?steps:int ->
+  ?gamma:float ->
+  ?explore_prob:float ->
+  ?epsilon:float ->
+  ?max_evals:int ->
+  ?heuristic_seeds:bool ->
+  ?flops_scale:float ->
+  ?mode:Evaluator.mode ->
+  Ft_schedule.Space.t ->
+  Driver.result

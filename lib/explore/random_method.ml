@@ -1,0 +1,19 @@
+(* Uniform random sampling of the schedule space — the weakest search,
+   used as the ablation floor for the back-end comparison. *)
+
+let search ?(seed = 2020) ?(n_trials = 200) ?max_evals ?(heuristic_seeds = true) ?flops_scale ?mode space =
+  let rng = Ft_util.Rng.create seed in
+  let evaluator = Evaluator.create ?flops_scale ?mode space in
+  let state = Driver.init evaluator (Driver.seed_points ~heuristics:heuristic_seeds rng space 4) in
+  let out_of_budget () =
+    match max_evals with
+    | Some cap -> Evaluator.n_evals evaluator >= cap
+    | None -> false
+  in
+  let trial = ref 0 in
+  while !trial < n_trials && not (out_of_budget ()) do
+    incr trial;
+    let cfg = Ft_schedule.Space.random_config rng space in
+    if not (Driver.seen state cfg) then ignore (Driver.evaluate state cfg)
+  done;
+  Driver.finish ~method_name:"random" state

@@ -1,0 +1,11 @@
+(** Uniform random search — ablation floor. *)
+
+val search :
+  ?seed:int ->
+  ?n_trials:int ->
+  ?max_evals:int ->
+  ?heuristic_seeds:bool ->
+  ?flops_scale:float ->
+  ?mode:Evaluator.mode ->
+  Ft_schedule.Space.t ->
+  Driver.result

@@ -1,0 +1,15 @@
+(** Gradient-boosted regression trees — the XGBoost stand-in used by
+    the AutoTVM baseline's cost model. *)
+
+type t
+
+val fit :
+  ?rounds:int -> ?depth:int -> ?learning_rate:float ->
+  float array array -> float array -> t
+
+val predict : t -> float array -> float
+
+(** Mean squared prediction error on a dataset. *)
+val mse : t -> float array array -> float array -> float
+
+val n_trees : t -> int

@@ -1,0 +1,26 @@
+let evaluate ?flops_scale (space : Ft_schedule.Space.t) cfg =
+  if not (Ft_schedule.Space.valid space cfg) then
+    Perf.invalid "config outside the schedule space"
+  else
+    match space.target with
+    | Ft_schedule.Target.Gpu spec -> Gpu_model.evaluate ?flops_scale spec space cfg
+    | Ft_schedule.Target.Cpu spec -> Cpu_model.evaluate ?flops_scale spec space cfg
+    | Ft_schedule.Target.Fpga spec -> Fpga_model.evaluate ?flops_scale spec space cfg
+
+(* Search objective: throughput on the true FLOPs, or — for zero-FLOP
+   operators like shift — effective bandwidth (GB/s moved). *)
+let perf_value (space : Ft_schedule.Space.t) (perf : Perf.t) =
+  if not perf.valid then 0.
+  else if Ft_ir.Op.flops space.node > 0 then perf.gflops
+  else
+    let node = space.node in
+    let bytes =
+      List.fold_left
+        (fun acc tensor ->
+          match Ft_ir.Op.tensor_shape space.graph tensor with
+          | Some shape -> acc + (List.fold_left ( * ) 1 shape * 4)
+          | None -> acc)
+        (Ft_ir.Op.spatial_points node * 4)
+        (Ft_ir.Op.tensors_read node)
+    in
+    float_of_int bytes /. perf.time_s /. 1e9

@@ -1,0 +1,11 @@
+(** Target dispatch for performance-model queries. *)
+
+(** Evaluate a schedule point on its space's target.  Invalid points
+    (outside the space or over a hard resource limit) come back with
+    [valid = false] and zero throughput. *)
+val evaluate :
+  ?flops_scale:float -> Ft_schedule.Space.t -> Ft_schedule.Config.t -> Perf.t
+
+(** Scalar objective the exploration maximizes: GFLOPS, or GB/s for
+    zero-FLOP operators. *)
+val perf_value : Ft_schedule.Space.t -> Perf.t -> float

@@ -1,0 +1,9 @@
+(** Analytical CPU performance model (stands in for the Xeon E5-2699
+    v4 testbed — see DESIGN.md). [flops_scale] as in {!Gpu_model}. *)
+
+val evaluate :
+  ?flops_scale:float ->
+  Ft_schedule.Target.cpu_spec ->
+  Ft_schedule.Space.t ->
+  Ft_schedule.Config.t ->
+  Perf.t

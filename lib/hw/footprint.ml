@@ -1,0 +1,66 @@
+open Ft_ir
+
+(* Interval-width abstract interpretation of index expressions: given
+   the tile width of each loop variable, [span] bounds how many
+   distinct values an index expression takes within one tile — which is
+   exactly the per-tile memory footprint along that tensor dimension. *)
+let rec span tiles = function
+  | Expr.Ivar name -> ( match tiles name with Some w -> w | None -> 1)
+  | Expr.Iconst _ -> 1
+  | Expr.Iadd (a, b) | Expr.Isub (a, b) -> span tiles a + span tiles b - 1
+  | Expr.Imul (a, b) -> (
+      match (const_of a, const_of b) with
+      | Some ca, _ -> (abs ca * (span tiles b - 1)) + 1
+      | _, Some cb -> (abs cb * (span tiles a - 1)) + 1
+      | None, None -> span tiles a * span tiles b)
+  | Expr.Idiv (a, b) -> (
+      match const_of b with
+      | Some cb when cb > 0 -> ((span tiles a - 1) / cb) + 1
+      | _ -> span tiles a)
+  | Expr.Imod (a, b) -> (
+      match const_of b with
+      | Some cb when cb > 0 -> min (span tiles a) cb
+      | _ -> span tiles a)
+
+and const_of = function Expr.Iconst n -> Some n | _ -> None
+
+(* Footprint (elements) of each distinct tensor read by [op] when the
+   loop variables span the given tile widths. Multiple accesses to the
+   same tensor keep the largest footprint (they overlap in practice). *)
+let tensor_footprints (op : Op.t) ~tiles =
+  let per_access =
+    List.map
+      (fun (tensor, indices) ->
+        let elems =
+          List.fold_left (fun acc index -> acc * span tiles index) 1 indices
+        in
+        (tensor, elems))
+      (Expr.accesses op.body)
+  in
+  List.fold_left
+    (fun acc (tensor, elems) ->
+      match List.assoc_opt tensor acc with
+      | Some prev -> (tensor, max prev elems) :: List.remove_assoc tensor acc
+      | None -> (tensor, elems) :: acc)
+    [] per_access
+
+let total_footprint op ~tiles =
+  List.fold_left (fun acc (_, elems) -> acc + elems) 0 (tensor_footprints op ~tiles)
+
+(* Tile widths from a schedule config: spatial axis [a] spans the
+   product of its factors at the given levels; likewise for reduce. *)
+let tiles_of_config (space : Ft_schedule.Space.t) (cfg : Ft_schedule.Config.t)
+    ~spatial_levels ~reduce_levels name =
+  let find axes factors levels =
+    let rec go i = function
+      | [] -> None
+      | (a : Op.axis) :: rest ->
+          if String.equal a.axis_name name then
+            Some (List.fold_left (fun acc level -> acc * factors.(i).(level)) 1 levels)
+          else go (i + 1) rest
+    in
+    go 0 axes
+  in
+  match find space.node.spatial cfg.spatial spatial_levels with
+  | Some w -> Some w
+  | None -> find space.node.reduce cfg.reduce reduce_levels

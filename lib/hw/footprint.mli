@@ -1,0 +1,27 @@
+(** Tile footprint analysis.
+
+    Computes, for a schedule tile, how many elements of each input
+    tensor the tile touches — the quantity that drives shared-memory
+    sizing on GPU, cache fitting on CPU, and BRAM buffers on FPGA. *)
+
+(** [span tiles index] is an upper bound on the number of distinct
+    values [index] takes when each loop variable [v] ranges over a
+    window of width [tiles v] (variables not in [tiles] are fixed). *)
+val span : (string -> int option) -> Ft_ir.Expr.iexpr -> int
+
+(** Per-tensor footprint (elements) of one tile of [op]. *)
+val tensor_footprints :
+  Ft_ir.Op.t -> tiles:(string -> int option) -> (string * int) list
+
+val total_footprint : Ft_ir.Op.t -> tiles:(string -> int option) -> int
+
+(** Tile-width function derived from a config: a spatial axis spans the
+    product of its split factors at [spatial_levels], a reduce axis at
+    [reduce_levels]. *)
+val tiles_of_config :
+  Ft_schedule.Space.t ->
+  Ft_schedule.Config.t ->
+  spatial_levels:int list ->
+  reduce_levels:int list ->
+  string ->
+  int option

@@ -1,0 +1,13 @@
+(** Analytical GPU performance model (stands in for real V100 / P100 /
+    Titan X execution — see DESIGN.md substitution table).
+
+    [flops_scale] scales the compute-time FLOP count only; baselines
+    use it to model algorithmic speedups such as Winograd (2.25x fewer
+    multiplies) without changing memory traffic. *)
+
+val evaluate :
+  ?flops_scale:float ->
+  Ft_schedule.Target.gpu_spec ->
+  Ft_schedule.Space.t ->
+  Ft_schedule.Config.t ->
+  Perf.t

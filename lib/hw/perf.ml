@@ -1,0 +1,24 @@
+type t = {
+  time_s : float;
+  gflops : float;
+  valid : bool;
+  note : string;
+}
+
+let invalid note = { time_s = Float.infinity; gflops = 0.; valid = false; note }
+
+let make ~flops ~time_s ~note =
+  if time_s <= 0. then invalid "non-positive time"
+  else
+    {
+      time_s;
+      gflops = float_of_int flops /. time_s /. 1e9;
+      valid = true;
+      note;
+    }
+
+let pp fmt t =
+  if t.valid then
+    Format.fprintf fmt "%.3f ms, %.1f GFLOPS%s" (t.time_s *. 1e3) t.gflops
+      (if String.equal t.note "" then "" else " (" ^ t.note ^ ")")
+  else Format.fprintf fmt "invalid: %s" t.note

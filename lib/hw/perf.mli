@@ -1,0 +1,12 @@
+(** Result of one performance-model query. *)
+
+type t = {
+  time_s : float;  (** predicted kernel time; [infinity] when invalid *)
+  gflops : float;  (** throughput on the operator's true FLOP count *)
+  valid : bool;  (** false when the schedule violates a hard resource limit *)
+  note : string;
+}
+
+val invalid : string -> t
+val make : flops:int -> time_s:float -> note:string -> t
+val pp : Format.formatter -> t -> unit

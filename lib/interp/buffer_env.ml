@@ -1,0 +1,66 @@
+type buffer = { shape : int list; data : float array }
+
+type t = (string, buffer) Hashtbl.t
+
+let create () = Hashtbl.create 16
+
+let numel shape = List.fold_left ( * ) 1 shape
+
+let alloc env name shape =
+  let buffer = { shape; data = Array.make (numel shape) 0. } in
+  Hashtbl.replace env name buffer;
+  buffer
+
+let set env name shape data =
+  if Array.length data <> numel shape then
+    invalid_arg
+      (Printf.sprintf "Buffer_env.set: %s expects %d elements, got %d" name
+         (numel shape) (Array.length data));
+  Hashtbl.replace env name { shape; data }
+
+let find env name =
+  match Hashtbl.find_opt env name with
+  | Some buffer -> buffer
+  | None -> invalid_arg (Printf.sprintf "Buffer_env.find: no tensor %s" name)
+
+let find_opt = Hashtbl.find_opt
+
+(* Row-major flattening with bounds checks: out-of-range accesses are a
+   bug in lowering or in an operator definition and must not be
+   silently wrapped. *)
+let flat_index name shape indices =
+  let rec go acc shape indices =
+    match (shape, indices) with
+    | [], [] -> acc
+    | dim :: shape, idx :: indices ->
+        if idx < 0 || idx >= dim then
+          invalid_arg
+            (Printf.sprintf "Buffer_env.flat_index: %s index %d out of bounds [0, %d)"
+               name idx dim)
+        else go ((acc * dim) + idx) shape indices
+    | _ ->
+        invalid_arg
+          (Printf.sprintf "Buffer_env.flat_index: %s rank mismatch" name)
+  in
+  go 0 shape indices
+
+let get env name indices =
+  let buffer = find env name in
+  buffer.data.(flat_index name buffer.shape indices)
+
+let put env name indices value =
+  let buffer = find env name in
+  buffer.data.(flat_index name buffer.shape indices) <- value
+
+let fill_random rng env name shape =
+  let buffer = alloc env name shape in
+  for i = 0 to Array.length buffer.data - 1 do
+    buffer.data.(i) <- Ft_util.Rng.float rng 2.0 -. 1.0
+  done
+
+let max_abs_diff a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Buffer_env.max_abs_diff: length mismatch";
+  let worst = ref 0. in
+  Array.iteri (fun i x -> worst := Float.max !worst (Float.abs (x -. b.(i)))) a;
+  !worst

@@ -1,0 +1,25 @@
+(** Named float buffers backing tensor execution. *)
+
+type buffer = { shape : int list; data : float array }
+type t
+
+val create : unit -> t
+val numel : int list -> int
+
+(** Allocate a zero-filled tensor, replacing any previous binding. *)
+val alloc : t -> string -> int list -> buffer
+
+(** Bind existing data; raises when sizes disagree. *)
+val set : t -> string -> int list -> float array -> unit
+
+val find : t -> string -> buffer
+val find_opt : t -> string -> buffer option
+
+(** Bounds-checked multi-index read/write. *)
+val get : t -> string -> int list -> float
+val put : t -> string -> int list -> float -> unit
+
+(** Fill a fresh tensor with uniform values in [-1, 1). *)
+val fill_random : Ft_util.Rng.t -> t -> string -> int list -> unit
+
+val max_abs_diff : float array -> float array -> float

@@ -1,0 +1,85 @@
+(** Expression language of the tensor-computation IR.
+
+    Index expressions are integer affine expressions extended with
+    (Euclidean) division and modulo, which the block-circulant-matrix
+    and shift operators of §6.4 need.  Scalar expressions describe the
+    value computed for one output point; [Select] encodes the boundary
+    conditions of padding nodes. *)
+
+type iexpr =
+  | Ivar of string
+  | Iconst of int
+  | Iadd of iexpr * iexpr
+  | Isub of iexpr * iexpr
+  | Imul of iexpr * iexpr
+  | Idiv of iexpr * iexpr  (** Euclidean (floor towards -inf for positive divisors) *)
+  | Imod of iexpr * iexpr  (** Euclidean: result is always non-negative *)
+
+type cond =
+  | Ge of iexpr * iexpr
+  | Lt of iexpr * iexpr
+  | Eq of iexpr * iexpr
+  | And of cond * cond
+
+type texpr =
+  | Access of string * iexpr list
+  | Const of float
+  | Add of texpr * texpr
+  | Sub of texpr * texpr
+  | Mul of texpr * texpr
+  | Select of cond * texpr * texpr
+
+(** {2 Constructors} *)
+
+val v : string -> iexpr
+val c : int -> iexpr
+val ( +: ) : iexpr -> iexpr -> iexpr
+val ( -: ) : iexpr -> iexpr -> iexpr
+val ( *: ) : iexpr -> iexpr -> iexpr
+val ( /: ) : iexpr -> iexpr -> iexpr
+val ( %: ) : iexpr -> iexpr -> iexpr
+
+(** {2 Evaluation} *)
+
+val euclid_div : int -> int -> int
+val euclid_mod : int -> int -> int
+
+(** Evaluate under an environment binding index variables to values;
+    raises [Invalid_argument] on unbound variables. *)
+val eval_iexpr : (string * int) list -> iexpr -> int
+
+val eval_cond : (string * int) list -> cond -> bool
+
+(** {2 Analysis} *)
+
+val ivars_of_iexpr : iexpr -> string list
+val ivars_of_cond : cond -> string list
+val ivars_of_texpr : texpr -> string list
+
+(** All tensor accesses [(tensor, indices)] in an expression, in
+    left-to-right order, with duplicates. *)
+val accesses : texpr -> (string * iexpr list) list
+
+(** Distinct tensor names read by the expression. *)
+val tensors_read : texpr -> string list
+
+(** Arithmetic operation count of one body evaluation (mul/add/sub each
+    count 1; select and loads are free). *)
+val flops_of_texpr : texpr -> int
+
+(** {2 Substitution}
+
+    Replace index variables by index expressions (used when inlining a
+    producer node's body into its consumer). *)
+
+val subst_iexpr : (string * iexpr) list -> iexpr -> iexpr
+val subst_cond : (string * iexpr) list -> cond -> cond
+val subst_texpr : (string * iexpr) list -> texpr -> texpr
+
+(** {2 Printing} *)
+
+val pp_iexpr : Format.formatter -> iexpr -> unit
+val pp_cond : Format.formatter -> cond -> unit
+val pp_texpr : Format.formatter -> texpr -> unit
+val iexpr_to_string : iexpr -> string
+val texpr_to_string : texpr -> string

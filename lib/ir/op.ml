@@ -1,0 +1,154 @@
+type axis = { axis_name : string; extent : int }
+
+let axis axis_name extent =
+  if extent <= 0 then
+    invalid_arg (Printf.sprintf "Op.axis: extent of %s must be positive" axis_name);
+  { axis_name; extent }
+
+type combine = Acc_sum | Acc_max
+
+type t = {
+  tag : string;
+  output : string;
+  spatial : axis list;
+  reduce : axis list;
+  init : float;
+  combine : combine;
+  body : Expr.texpr;
+}
+
+type graph = {
+  graph_name : string;
+  inputs : (string * int list) list;
+  ops : t list;
+  output : string;
+}
+
+let out_shape op = List.map (fun a -> a.extent) op.spatial
+
+let spatial_points op =
+  List.fold_left (fun acc a -> acc * a.extent) 1 op.spatial
+
+let reduce_points op =
+  List.fold_left (fun acc a -> acc * a.extent) 1 op.reduce
+
+let body_flops op =
+  let arith = Expr.flops_of_texpr op.body in
+  (* A non-empty reduction adds one accumulate per body evaluation. *)
+  if op.reduce = [] then arith else arith + 1
+
+let flops op = spatial_points op * reduce_points op * body_flops op
+
+let tensors_read op = Expr.tensors_read op.body
+
+let graph_flops graph = List.fold_left (fun acc op -> acc + flops op) 0 graph.ops
+
+let find_op graph name =
+  match List.find_opt (fun (op : t) -> String.equal op.output name) graph.ops with
+  | Some op -> Some op
+  | None -> None
+
+let output_op graph =
+  match find_op graph graph.output with
+  | Some op -> op
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Op.output_op: graph %s has no op producing %s"
+           graph.graph_name graph.output)
+
+let tensor_shape graph name =
+  match List.assoc_opt name graph.inputs with
+  | Some shape -> Some shape
+  | None -> Option.map out_shape (find_op graph name)
+
+let consumers graph name =
+  List.filter (fun op -> List.mem name (tensors_read op)) graph.ops
+
+let producers graph op =
+  List.filter_map (fun tensor -> find_op graph tensor) (tensors_read op)
+
+let validate_op graph op =
+  let axes = op.spatial @ op.reduce in
+  let names = List.map (fun a -> a.axis_name) axes in
+  let distinct = List.sort_uniq compare names in
+  if List.length distinct <> List.length names then
+    Error (Printf.sprintf "op %s: duplicate axis names" op.tag)
+  else
+    let unbound =
+      List.filter (fun name -> not (List.mem name names))
+        (Expr.ivars_of_texpr op.body)
+    in
+    if unbound <> [] then
+      Error
+        (Printf.sprintf "op %s: unbound index variables %s" op.tag
+           (String.concat ", " unbound))
+    else
+      let check_access acc (tensor, indices) =
+        match acc with
+        | Error _ as err -> err
+        | Ok () -> (
+            match tensor_shape graph tensor with
+            | None ->
+                Error (Printf.sprintf "op %s: unknown tensor %s" op.tag tensor)
+            | Some shape ->
+                if List.length shape <> List.length indices then
+                  Error
+                    (Printf.sprintf "op %s: tensor %s accessed with %d indices, has rank %d"
+                       op.tag tensor (List.length indices) (List.length shape))
+                else Ok ())
+      in
+      List.fold_left check_access (Ok ()) (Expr.accesses op.body)
+
+let validate graph =
+  let tensor_names =
+    List.map fst graph.inputs @ List.map (fun (op : t) -> op.output) graph.ops
+  in
+  let distinct = List.sort_uniq compare tensor_names in
+  if List.length distinct <> List.length tensor_names then
+    Error (Printf.sprintf "graph %s: duplicate tensor names" graph.graph_name)
+  else if find_op graph graph.output = None then
+    Error (Printf.sprintf "graph %s: no op produces output %s" graph.graph_name graph.output)
+  else
+    (* Ops must be topologically ordered: each op may only read inputs
+       and outputs of earlier ops. *)
+    let rec check_order seen = function
+      | [] -> Ok ()
+      | op :: rest ->
+          let missing =
+            List.filter (fun tensor -> not (List.mem tensor seen)) (tensors_read op)
+          in
+          if missing <> [] then
+            Error
+              (Printf.sprintf "graph %s: op %s reads %s before it is produced"
+                 graph.graph_name op.tag (String.concat ", " missing))
+          else (
+            match validate_op graph op with
+            | Error _ as err -> err
+            | Ok () -> check_order (op.output :: seen) rest)
+    in
+    check_order (List.map fst graph.inputs) graph.ops
+
+let validate_exn graph =
+  match validate graph with
+  | Ok () -> graph
+  | Error msg -> invalid_arg ("Op.validate_exn: " ^ msg)
+
+let pp fmt op =
+  let pp_axes fmt axes =
+    Format.pp_print_list
+      ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+      (fun fmt a -> Format.fprintf fmt "%s(%d)" a.axis_name a.extent)
+      fmt axes
+  in
+  Format.fprintf fmt "@[<v 2>%s -> %s:@ spatial: %a@ reduce: %a@ body: %a@]"
+    op.tag op.output pp_axes op.spatial pp_axes op.reduce Expr.pp_texpr op.body
+
+let pp_graph fmt graph =
+  Format.fprintf fmt "@[<v 2>graph %s:@ " graph.graph_name;
+  List.iter
+    (fun (name, shape) ->
+      Format.fprintf fmt "input %s: [%s]@ " name
+        (String.concat "; " (List.map string_of_int shape)))
+    graph.inputs;
+  List.iter (fun op -> Format.fprintf fmt "%a@ " pp op) graph.ops;
+  Format.fprintf fmt "output: %s@]" graph.output

@@ -1,0 +1,31 @@
+(* Sequential interpreter for lowered programs.  Parallel / vectorized
+   / bound loops all run as plain loops — the bindings only describe
+   how a target backend would realize them, and every transformation we
+   perform is valid exactly when sequential execution matches the
+   reference semantics. *)
+
+let rec exec_stmt env bindings = function
+  | Loopnest.Loop { var; extent; body; _ } ->
+      for i = 0 to extent - 1 do
+        let bindings = (var, i) :: bindings in
+        List.iter (exec_stmt env bindings) body
+      done
+  | Loopnest.Init { tensor; indices; value } ->
+      let at = List.map (Ft_ir.Expr.eval_iexpr bindings) indices in
+      Ft_interp.Buffer_env.put env tensor at value
+  | Loopnest.Accum { tensor; indices; combine; value } ->
+      let at = List.map (Ft_ir.Expr.eval_iexpr bindings) indices in
+      let current = Ft_interp.Buffer_env.get env tensor at in
+      let contribution = Ft_interp.Reference.eval_texpr env bindings value in
+      Ft_interp.Buffer_env.put env tensor at
+        (Ft_interp.Reference.combine_value combine current contribution)
+  | Loopnest.Assign { tensor; indices; value } ->
+      let at = List.map (Ft_ir.Expr.eval_iexpr bindings) indices in
+      Ft_interp.Buffer_env.put env tensor at
+        (Ft_interp.Reference.eval_texpr env bindings value)
+
+let run env (program : Loopnest.program) =
+  List.iter
+    (fun (tensor, shape) -> ignore (Ft_interp.Buffer_env.alloc env tensor shape))
+    program.allocs;
+  List.iter (exec_stmt env []) program.body

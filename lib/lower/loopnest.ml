@@ -1,0 +1,50 @@
+type binding =
+  | Serial
+  | Parallel
+  | Vectorized
+  | Unrolled
+  | Block_dim  (* bound to blockIdx *)
+  | Thread_dim  (* bound to threadIdx *)
+  | Pe_parallel  (* FPGA processing-element lane *)
+
+type stmt =
+  | Loop of { var : string; extent : int; binding : binding; body : stmt list }
+  | Init of { tensor : string; indices : Ft_ir.Expr.iexpr list; value : float }
+  | Accum of {
+      tensor : string;
+      indices : Ft_ir.Expr.iexpr list;
+      combine : Ft_ir.Op.combine;
+      value : Ft_ir.Expr.texpr;
+    }
+  | Assign of { tensor : string; indices : Ft_ir.Expr.iexpr list; value : Ft_ir.Expr.texpr }
+
+type program = {
+  source : string;  (* graph name *)
+  allocs : (string * int list) list;  (* tensors the program writes *)
+  body : stmt list;
+}
+
+let binding_to_string = function
+  | Serial -> "for"
+  | Parallel -> "parallel for"
+  | Vectorized -> "vectorized for"
+  | Unrolled -> "unrolled for"
+  | Block_dim -> "blockIdx"
+  | Thread_dim -> "threadIdx"
+  | Pe_parallel -> "pe for"
+
+let rec count_stmts stmts =
+  List.fold_left
+    (fun acc stmt ->
+      match stmt with
+      | Loop { body; _ } -> acc + 1 + count_stmts body
+      | Init _ | Accum _ | Assign _ -> acc + 1)
+    0 stmts
+
+let rec max_depth stmts =
+  List.fold_left
+    (fun acc stmt ->
+      match stmt with
+      | Loop { body; _ } -> max acc (1 + max_depth body)
+      | Init _ | Accum _ | Assign _ -> max acc 0)
+    0 stmts

@@ -1,0 +1,35 @@
+(** Explicit loop-nest AST produced by applying a schedule to an
+    operator — the analogue of TVM's lowered IR. Bindings record how
+    each loop would be realized on the target (grid/thread dimensions,
+    OpenMP parallel, SIMD, PE lanes); execution semantics in
+    {!Exec} treats them all as sequential loops. *)
+
+type binding =
+  | Serial
+  | Parallel
+  | Vectorized
+  | Unrolled
+  | Block_dim
+  | Thread_dim
+  | Pe_parallel
+
+type stmt =
+  | Loop of { var : string; extent : int; binding : binding; body : stmt list }
+  | Init of { tensor : string; indices : Ft_ir.Expr.iexpr list; value : float }
+  | Accum of {
+      tensor : string;
+      indices : Ft_ir.Expr.iexpr list;
+      combine : Ft_ir.Op.combine;
+      value : Ft_ir.Expr.texpr;
+    }
+  | Assign of { tensor : string; indices : Ft_ir.Expr.iexpr list; value : Ft_ir.Expr.texpr }
+
+type program = {
+  source : string;
+  allocs : (string * int list) list;
+  body : stmt list;
+}
+
+val binding_to_string : binding -> string
+val count_stmts : stmt list -> int
+val max_depth : stmt list -> int

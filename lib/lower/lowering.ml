@@ -1,0 +1,174 @@
+open Ft_ir
+open Ft_schedule
+
+(* Applying a schedule point to a mini-graph, producing an explicit
+   loop nest (§5.3, bottom-up order):
+
+   - producer nodes are either inlined (their reduce-free bodies are
+     substituted into the compute node's accesses) or materialized as
+     naive loop nests preceding the compute node;
+   - the compute node's axes are multi-level split, the sub-loops are
+     arranged per the target skeleton and the config's order template,
+     and the accumulation is initialized by a separate spatial nest so
+     every legal loop order is semantics-preserving. *)
+
+let sub_var name level = Printf.sprintf "%s.%d" name level
+
+(* i = ((i0*f1 + i1)*f2 + i2)*f3 + i3 *)
+let axis_index (a : Op.axis) factors =
+  let n = Array.length factors in
+  let rec go level acc =
+    if level >= n then acc
+    else
+      go (level + 1)
+        Expr.(Iadd (Imul (acc, Iconst factors.(level)), Ivar (sub_var a.axis_name level)))
+  in
+  go 1 (Expr.Ivar (sub_var a.axis_name 0))
+
+(* Transitively substitute inlinable producer bodies into an
+   expression.  Only reduce-free producers can be inlined (ours —
+   padding and zero-insertion — all are). *)
+let rec inline_expr graph expr =
+  match expr with
+  | Expr.Access (tensor, indices) -> (
+      match Op.find_op graph tensor with
+      | Some producer when producer.reduce = [] ->
+          let bindings =
+            List.map2
+              (fun (a : Op.axis) index -> (a.axis_name, index))
+              producer.spatial indices
+          in
+          inline_expr graph (Expr.subst_texpr bindings producer.body)
+      | Some _ | None -> expr)
+  | Expr.Const _ -> expr
+  | Expr.Add (a, b) -> Expr.Add (inline_expr graph a, inline_expr graph b)
+  | Expr.Sub (a, b) -> Expr.Sub (inline_expr graph a, inline_expr graph b)
+  | Expr.Mul (a, b) -> Expr.Mul (inline_expr graph a, inline_expr graph b)
+  | Expr.Select (cond, a, b) ->
+      Expr.Select (cond, inline_expr graph a, inline_expr graph b)
+
+let wrap_loops loops body =
+  List.fold_right
+    (fun (var, extent, binding) inner ->
+      [ Loopnest.Loop { var; extent; binding; body = inner } ])
+    loops body
+
+(* Naive lowering of a node: plain loops in definition order. *)
+let naive_node (op : Op.t) =
+  let out_indices = List.map (fun (a : Op.axis) -> Expr.Ivar a.axis_name) op.spatial in
+  let spatial_loops =
+    List.map (fun (a : Op.axis) -> (a.axis_name, a.extent, Loopnest.Serial)) op.spatial
+  in
+  let reduce_loops =
+    List.map (fun (a : Op.axis) -> (a.axis_name, a.extent, Loopnest.Serial)) op.reduce
+  in
+  if op.reduce = [] && op.combine = Op.Acc_sum then
+    wrap_loops spatial_loops
+      [ Loopnest.Assign { tensor = op.output; indices = out_indices; value = op.body } ]
+  else
+    wrap_loops spatial_loops
+      (Loopnest.Init { tensor = op.output; indices = out_indices; value = op.init }
+       :: wrap_loops reduce_loops
+            [ Loopnest.Accum
+                { tensor = op.output; indices = out_indices; combine = op.combine;
+                  value = op.body } ])
+
+(* Loop descriptors of one split level across a list of axes. *)
+let level_loops axes factors level binding =
+  List.mapi
+    (fun i (a : Op.axis) -> (sub_var a.axis_name level, factors.(i).(level), binding))
+    axes
+
+(* The scheduled compute node. *)
+let scheduled_node (space : Space.t) (cfg : Config.t) body_expr =
+  let node = space.node in
+  let out_indices =
+    List.mapi (fun i (a : Op.axis) -> axis_index a cfg.spatial.(i)) node.spatial
+  in
+  (* The body references the original axis variables; rewrite them in
+     terms of the split sub-variables the loops actually bind. *)
+  let body_expr =
+    let bindings =
+      List.mapi (fun i (a : Op.axis) -> (a.axis_name, axis_index a cfg.spatial.(i)))
+        node.spatial
+      @ List.mapi (fun i (a : Op.axis) -> (a.axis_name, axis_index a cfg.reduce.(i)))
+          node.reduce
+    in
+    Expr.subst_texpr bindings body_expr
+  in
+  let s level binding = level_loops node.spatial cfg.spatial level binding in
+  let r level = level_loops node.reduce cfg.reduce level Loopnest.Serial in
+  let unroll_binding =
+    if Space.unroll_depth cfg > 1 then Loopnest.Unrolled else Loopnest.Serial
+  in
+  let vec_binding = if cfg.vectorize then Loopnest.Vectorized else unroll_binding in
+  let serial_groups ~spatial_mid =
+    let groups = [| spatial_mid; r 0; r 1 |] in
+    List.concat_map
+      (fun g -> groups.(g))
+      (Array.to_list (Config.order_perm cfg.order_id))
+  in
+  let loops =
+    match space.target with
+    | Target.Gpu _ ->
+        s 0 Loopnest.Block_dim @ s 2 Loopnest.Thread_dim
+        @ serial_groups ~spatial_mid:(s 1 Loopnest.Serial)
+        @ r 2 @ s 3 unroll_binding
+    | Target.Cpu _ ->
+        s 0 Loopnest.Parallel
+        @ s 1 (if cfg.fuse_levels >= 2 then Loopnest.Parallel else Loopnest.Serial)
+        @ serial_groups ~spatial_mid:(s 2 Loopnest.Serial)
+        @ r 2 @ s 3 vec_binding
+    | Target.Fpga _ ->
+        s 0 Loopnest.Serial @ s 1 Loopnest.Serial @ s 2 Loopnest.Pe_parallel
+        @ serial_groups ~spatial_mid:[] @ r 2 @ s 3 unroll_binding
+  in
+  let init_loops =
+    List.concat (List.init Space.n_spatial_parts (fun level -> s level Loopnest.Serial))
+  in
+  let init_nest =
+    wrap_loops init_loops
+      [ Loopnest.Init { tensor = node.output; indices = out_indices; value = node.init } ]
+  in
+  let compute_nest =
+    wrap_loops loops
+      [ Loopnest.Accum
+          { tensor = node.output; indices = out_indices; combine = node.combine;
+            value = body_expr } ]
+  in
+  init_nest @ compute_nest
+
+let lower (space : Space.t) (cfg : Config.t) =
+  let graph = space.graph in
+  let node = space.node in
+  (* Ops are topologically sorted: everything before the compute node
+     feeds it (producers), everything after consumes it (epilogue, e.g.
+     fused bias/ReLU).  Only producers can be inlined; epilogue ops are
+     always materialized after the scheduled nest. *)
+  let before, after =
+    let rec split acc = function
+      | [] -> invalid_arg "Lowering.lower: compute node missing from its graph"
+      | (op : Op.t) :: rest ->
+          if String.equal op.output node.output then (List.rev acc, rest)
+          else split (op :: acc) rest
+    in
+    split [] graph.ops
+  in
+  let epilogue = List.concat_map naive_node after in
+  if cfg.inline then
+    {
+      Loopnest.source = graph.graph_name;
+      allocs =
+        (node.output, Op.out_shape node)
+        :: List.map (fun (op : Op.t) -> (op.output, Op.out_shape op)) after;
+      body = scheduled_node space cfg (inline_expr graph node.body) @ epilogue;
+    }
+  else
+    {
+      Loopnest.source = graph.graph_name;
+      allocs = List.map (fun (op : Op.t) -> (op.output, Op.out_shape op)) graph.ops;
+      body =
+        List.concat_map naive_node before
+        @ scheduled_node space cfg node.body
+        @ epilogue;
+    }

@@ -1,0 +1,19 @@
+(** Schedule application: config + mini-graph -> explicit loop nest. *)
+
+(** Sub-loop variable name of an axis level (matches
+    {!Ft_schedule.Primitive.sub_axis}). *)
+val sub_var : string -> int -> string
+
+(** Reconstruction of the original axis index from its split
+    sub-variables. *)
+val axis_index : Ft_ir.Op.axis -> int array -> Ft_ir.Expr.iexpr
+
+(** Transitively inline reduce-free producer bodies into an
+    expression. *)
+val inline_expr : Ft_ir.Op.graph -> Ft_ir.Expr.texpr -> Ft_ir.Expr.texpr
+
+(** Naive (unscheduled) loop nest of one node. *)
+val naive_node : Ft_ir.Op.t -> Loopnest.stmt list
+
+(** Apply a schedule point to the space's graph. *)
+val lower : Ft_schedule.Space.t -> Ft_schedule.Config.t -> Loopnest.program

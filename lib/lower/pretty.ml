@@ -1,0 +1,47 @@
+(* Pseudo-C rendering of lowered programs, for inspection and for the
+   CLI's `schedule` subcommand. *)
+
+let indent buf depth = Buffer.add_string buf (String.make (2 * depth) ' ')
+
+let indices_to_string indices =
+  String.concat "][" (List.map Ft_ir.Expr.iexpr_to_string indices)
+
+let rec render_stmt buf depth = function
+  | Loopnest.Loop { var; extent; binding; body } ->
+      indent buf depth;
+      Buffer.add_string buf
+        (Printf.sprintf "%s (%s = 0; %s < %d; %s++) {\n"
+           (Loopnest.binding_to_string binding)
+           var var extent var);
+      List.iter (render_stmt buf (depth + 1)) body;
+      indent buf depth;
+      Buffer.add_string buf "}\n"
+  | Loopnest.Init { tensor; indices; value } ->
+      indent buf depth;
+      Buffer.add_string buf
+        (Printf.sprintf "%s[%s] = %g;\n" tensor (indices_to_string indices) value)
+  | Loopnest.Accum { tensor; indices; combine; value } ->
+      indent buf depth;
+      let lhs = Printf.sprintf "%s[%s]" tensor (indices_to_string indices) in
+      let rhs = Ft_ir.Expr.texpr_to_string value in
+      (match combine with
+      | Ft_ir.Op.Acc_sum -> Buffer.add_string buf (Printf.sprintf "%s += %s;\n" lhs rhs)
+      | Ft_ir.Op.Acc_max ->
+          Buffer.add_string buf (Printf.sprintf "%s = max(%s, %s);\n" lhs lhs rhs))
+  | Loopnest.Assign { tensor; indices; value } ->
+      indent buf depth;
+      Buffer.add_string buf
+        (Printf.sprintf "%s[%s] = %s;\n" tensor (indices_to_string indices)
+           (Ft_ir.Expr.texpr_to_string value))
+
+let render (program : Loopnest.program) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "// lowered from %s\n" program.source);
+  List.iter
+    (fun (tensor, shape) ->
+      Buffer.add_string buf
+        (Printf.sprintf "float %s%s;\n" tensor
+           (String.concat "" (List.map (Printf.sprintf "[%d]") shape))))
+    program.allocs;
+  List.iter (render_stmt buf 0) program.body;
+  Buffer.contents buf

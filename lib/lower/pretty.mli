@@ -1,0 +1,3 @@
+(** Pseudo-C rendering of lowered programs. *)
+
+val render : Loopnest.program -> string

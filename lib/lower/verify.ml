@@ -1,0 +1,32 @@
+(* End-to-end correctness of a schedule: run the lowered program and
+   the naive reference on the same random inputs and compare outputs.
+   This is the property TVM's codegen gives the paper's authors; every
+   point our search visits can be checked this way. *)
+
+let check ?(seed = 2020) ?(tol = 1e-4) (space : Ft_schedule.Space.t) cfg =
+  if not (Ft_schedule.Space.valid space cfg) then Error "config outside space"
+  else
+    let graph = space.graph in
+    let rng = Ft_util.Rng.create seed in
+    let ref_env = Ft_interp.Reference.random_env rng graph in
+    (* Bind identical inputs in a fresh environment for the program. *)
+    let run_env = Ft_interp.Buffer_env.create () in
+    List.iter
+      (fun (name, shape) ->
+        let buffer = Ft_interp.Buffer_env.find ref_env name in
+        Ft_interp.Buffer_env.set run_env name shape (Array.copy buffer.data))
+      graph.inputs;
+    let expected = Ft_interp.Reference.run_graph ref_env graph in
+    let program = Lowering.lower space cfg in
+    match Exec.run run_env program with
+    | exception Invalid_argument msg -> Error ("execution failed: " ^ msg)
+    | () ->
+        let actual = (Ft_interp.Buffer_env.find run_env graph.output).data in
+        let diff = Ft_interp.Buffer_env.max_abs_diff expected actual in
+        if diff <= tol then Ok ()
+        else Error (Printf.sprintf "max abs diff %.2e exceeds %.2e" diff tol)
+
+let check_exn ?seed ?tol space cfg =
+  match check ?seed ?tol space cfg with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Verify.check_exn: " ^ msg)

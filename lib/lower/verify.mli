@@ -1,0 +1,12 @@
+(** Semantics preservation: lowered-and-scheduled execution must match
+    the naive reference on random inputs. *)
+
+val check :
+  ?seed:int ->
+  ?tol:float ->
+  Ft_schedule.Space.t ->
+  Ft_schedule.Config.t ->
+  (unit, string) result
+
+val check_exn :
+  ?seed:int -> ?tol:float -> Ft_schedule.Space.t -> Ft_schedule.Config.t -> unit

@@ -1,0 +1,10 @@
+(** AdaDelta optimizer (Zeiler 2012), as used to train the paper's
+    Q-network (§5.1). *)
+
+type t
+
+val create : ?rho:float -> ?eps:float -> int -> t
+
+(** In-place parameter update from gradients; sizes must match the
+    state's. *)
+val update : t -> params:float array -> grads:float array -> unit

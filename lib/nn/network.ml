@@ -1,0 +1,155 @@
+type layer = {
+  n_in : int;
+  n_out : int;
+  w : float array;  (* row-major n_out x n_in *)
+  b : float array;
+  gw : float array;
+  gb : float array;
+  w_opt : Adadelta.t;
+  b_opt : Adadelta.t;
+  mutable last_input : float array;
+  mutable last_pre : float array;  (* pre-activation, cached for backward *)
+}
+
+type t = { layers : layer array }
+
+let make_layer rng n_in n_out =
+  let scale = sqrt (2. /. float_of_int n_in) in
+  {
+    n_in;
+    n_out;
+    w = Array.init (n_out * n_in) (fun _ -> Ft_util.Rng.gaussian rng *. scale);
+    b = Array.make n_out 0.;
+    gw = Array.make (n_out * n_in) 0.;
+    gb = Array.make n_out 0.;
+    w_opt = Adadelta.create (n_out * n_in);
+    b_opt = Adadelta.create n_out;
+    last_input = [||];
+    last_pre = [||];
+  }
+
+let mlp rng ~dims =
+  if Array.length dims < 2 then invalid_arg "Network.mlp: need at least two dims";
+  {
+    layers =
+      Array.init
+        (Array.length dims - 1)
+        (fun i -> make_layer rng dims.(i) dims.(i + 1));
+  }
+
+let layer_forward ~activate layer input =
+  if Array.length input <> layer.n_in then
+    invalid_arg
+      (Printf.sprintf "Network.forward: layer expects %d inputs, got %d" layer.n_in
+         (Array.length input));
+  layer.last_input <- input;
+  let pre = Array.make layer.n_out 0. in
+  for o = 0 to layer.n_out - 1 do
+    let row = o * layer.n_in in
+    let acc = ref layer.b.(o) in
+    for i = 0 to layer.n_in - 1 do
+      acc := !acc +. (layer.w.(row + i) *. input.(i))
+    done;
+    pre.(o) <- !acc
+  done;
+  layer.last_pre <- pre;
+  if activate then Array.map (fun x -> Float.max 0. x) pre else pre
+
+let forward net input =
+  let n = Array.length net.layers in
+  let rec go i x =
+    if i >= n then x
+    else go (i + 1) (layer_forward ~activate:(i < n - 1) net.layers.(i) x)
+  in
+  go 0 input
+
+(* Backward pass from dL/d(output of layer), accumulating gradients and
+   returning dL/d(input of layer). [through_relu] tells whether the
+   layer's output went through ReLU. *)
+let layer_backward ~through_relu layer dout =
+  let dpre =
+    if through_relu then
+      Array.mapi (fun o d -> if layer.last_pre.(o) > 0. then d else 0.) dout
+    else dout
+  in
+  let din = Array.make layer.n_in 0. in
+  for o = 0 to layer.n_out - 1 do
+    let row = o * layer.n_in in
+    let d = dpre.(o) in
+    layer.gb.(o) <- layer.gb.(o) +. d;
+    for i = 0 to layer.n_in - 1 do
+      layer.gw.(row + i) <- layer.gw.(row + i) +. (d *. layer.last_input.(i));
+      din.(i) <- din.(i) +. (layer.w.(row + i) *. d)
+    done
+  done;
+  din
+
+let zero_grads net =
+  Array.iter
+    (fun layer ->
+      Array.fill layer.gw 0 (Array.length layer.gw) 0.;
+      Array.fill layer.gb 0 (Array.length layer.gb) 0.)
+    net.layers
+
+let apply_grads net =
+  Array.iter
+    (fun layer ->
+      Adadelta.update layer.w_opt ~params:layer.w ~grads:layer.gw;
+      Adadelta.update layer.b_opt ~params:layer.b ~grads:layer.gb)
+    net.layers
+
+let backward net dout =
+  let n = Array.length net.layers in
+  let rec go i dout =
+    if i < 0 then dout
+    else go (i - 1) (layer_backward ~through_relu:(i < n - 1) net.layers.(i) dout)
+  in
+  ignore (go (n - 1) dout)
+
+(* One SGD-style step on half the squared error of a single sample;
+   returns the loss before the update. *)
+let train_mse net ~input ~target =
+  let out = forward net input in
+  if Array.length out <> Array.length target then
+    invalid_arg "Network.train_mse: target size mismatch";
+  let dout = Array.map2 (fun o t -> o -. t) out target in
+  let loss =
+    0.5 *. Array.fold_left (fun acc d -> acc +. (d *. d)) 0. dout
+  in
+  zero_grads net;
+  backward net dout;
+  apply_grads net;
+  loss
+
+(* Train on the loss of a single output component (others untouched) —
+   the Q-learning update trains only the Q-value of the action taken. *)
+let train_mse_component net ~input ~index ~target =
+  let out = forward net input in
+  if index < 0 || index >= Array.length out then
+    invalid_arg "Network.train_mse_component: index out of range";
+  let dout = Array.make (Array.length out) 0. in
+  let d = out.(index) -. target in
+  dout.(index) <- d;
+  zero_grads net;
+  backward net dout;
+  apply_grads net;
+  0.5 *. d *. d
+
+let copy_params ~src ~dst =
+  if Array.length src.layers <> Array.length dst.layers then
+    invalid_arg "Network.copy_params: structure mismatch";
+  Array.iteri
+    (fun i (s : layer) ->
+      let d = dst.layers.(i) in
+      if s.n_in <> d.n_in || s.n_out <> d.n_out then
+        invalid_arg "Network.copy_params: layer shape mismatch";
+      Array.blit s.w 0 d.w 0 (Array.length s.w);
+      Array.blit s.b 0 d.b 0 (Array.length s.b))
+    src.layers
+
+let param_count net =
+  Array.fold_left
+    (fun acc layer -> acc + Array.length layer.w + Array.length layer.b)
+    0 net.layers
+
+let num_layers net = Array.length net.layers

@@ -1,0 +1,110 @@
+type transition = {
+  state : float array;
+  action : int;
+  reward : float;
+  next_state : float array;
+  next_valid : int list;  (* actions available from the next state *)
+}
+
+type t = {
+  online : Ft_nn.Network.t;  (* network X of §5.1 *)
+  target : Ft_nn.Network.t;  (* network Y, kept as a stable backup *)
+  n_actions : int;
+  alpha : float;  (* discount on the target network's best Q-value *)
+  train_every : int;  (* the paper trains every five trials *)
+  batch_size : int;
+  replay_cap : int;
+  replay : transition array;
+  mutable replay_len : int;
+  mutable replay_pos : int;
+  mutable recorded : int;
+  mutable epsilon : float;
+  epsilon_decay : float;
+  epsilon_min : float;
+  rng : Ft_util.Rng.t;
+}
+
+let create ?(alpha = 0.7) ?(hidden = 64) ?(train_every = 5) ?(batch_size = 16)
+    ?(replay_cap = 512) ?(epsilon = 0.3) ?(epsilon_decay = 0.98)
+    ?(epsilon_min = 0.05) rng ~feature_dim ~n_actions =
+  if n_actions <= 0 then invalid_arg "Agent.create: need at least one action";
+  (* Four fully connected layers with ReLU, as in the paper. *)
+  let dims = [| feature_dim; hidden; hidden; hidden; n_actions |] in
+  let online = Ft_nn.Network.mlp rng ~dims in
+  let target = Ft_nn.Network.mlp rng ~dims in
+  Ft_nn.Network.copy_params ~src:online ~dst:target;
+  {
+    online;
+    target;
+    n_actions;
+    alpha;
+    train_every;
+    batch_size;
+    replay_cap;
+    replay =
+      Array.make replay_cap
+        { state = [||]; action = 0; reward = 0.; next_state = [||]; next_valid = [] };
+    replay_len = 0;
+    replay_pos = 0;
+    recorded = 0;
+    epsilon;
+    epsilon_decay;
+    epsilon_min;
+    rng;
+  }
+
+let q_values t state = Ft_nn.Network.forward t.online state
+
+let best_valid values valid =
+  match valid with
+  | [] -> None
+  | first :: rest ->
+      Some
+        (List.fold_left
+           (fun best action -> if values.(action) > values.(best) then action else best)
+           first rest)
+
+(* Epsilon-greedy over the *valid* directions only. *)
+let select t ~state ~valid =
+  match valid with
+  | [] -> None
+  | _ ->
+      if Ft_util.Rng.float t.rng 1.0 < t.epsilon then
+        Some (Ft_util.Rng.choose t.rng valid)
+      else best_valid (q_values t state) valid
+
+let max_target_q t transition =
+  match transition.next_valid with
+  | [] -> 0.
+  | valid ->
+      let values = Ft_nn.Network.forward t.target transition.next_state in
+      List.fold_left (fun acc action -> Float.max acc values.(action)) neg_infinity valid
+
+let train_batch t =
+  let n = min t.batch_size t.replay_len in
+  let total = ref 0. in
+  for _ = 1 to n do
+    let transition = t.replay.(Ft_util.Rng.int t.rng t.replay_len) in
+    (* target = alpha * max_a' Y(next)[a'] + reward — §5.1. *)
+    let target = (t.alpha *. max_target_q t transition) +. transition.reward in
+    total :=
+      !total
+      +. Ft_nn.Network.train_mse_component t.online ~input:transition.state
+           ~index:transition.action ~target
+  done;
+  (* The updated parameters become the new backup network Y. *)
+  Ft_nn.Network.copy_params ~src:t.online ~dst:t.target;
+  if n > 0 then !total /. float_of_int n else 0.
+
+let record t transition =
+  if transition.action < 0 || transition.action >= t.n_actions then
+    invalid_arg "Agent.record: action index out of range";
+  t.replay.(t.replay_pos) <- transition;
+  t.replay_pos <- (t.replay_pos + 1) mod t.replay_cap;
+  t.replay_len <- min (t.replay_len + 1) t.replay_cap;
+  t.recorded <- t.recorded + 1;
+  t.epsilon <- Float.max t.epsilon_min (t.epsilon *. t.epsilon_decay);
+  if t.recorded mod t.train_every = 0 then Some (train_batch t) else None
+
+let epsilon t = t.epsilon
+let recorded t = t.recorded

@@ -1,0 +1,46 @@
+(** Q-learning direction predictor (§5.1).
+
+    States are schedule-point feature vectors, actions are directions
+    in the rearranged schedule space, rewards are normalized
+    performance deltas [(Ee - Ep) / Ep].  A four-layer MLP predicts
+    Q-values; training runs every [train_every] recorded transitions on
+    a replay sample against a target network that is refreshed after
+    each round — the DQN-style stabilization the paper cites. *)
+
+type transition = {
+  state : float array;
+  action : int;
+  reward : float;
+  next_state : float array;
+  next_valid : int list;
+}
+
+type t
+
+val create :
+  ?alpha:float ->
+  ?hidden:int ->
+  ?train_every:int ->
+  ?batch_size:int ->
+  ?replay_cap:int ->
+  ?epsilon:float ->
+  ?epsilon_decay:float ->
+  ?epsilon_min:float ->
+  Ft_util.Rng.t ->
+  feature_dim:int ->
+  n_actions:int ->
+  t
+
+(** Online-network Q-values of every action at a state. *)
+val q_values : t -> float array -> float array
+
+(** Epsilon-greedy choice among the valid action indices; [None] when
+    no action is valid. *)
+val select : t -> state:float array -> valid:int list -> int option
+
+(** Store a transition; every [train_every] calls this also runs a
+    training round and returns its mean loss. *)
+val record : t -> transition -> float option
+
+val epsilon : t -> float
+val recorded : t -> int

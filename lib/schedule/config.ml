@@ -1,0 +1,69 @@
+type t = {
+  spatial : int array array;
+  reduce : int array array;
+  order_id : int;
+  unroll_id : int;
+  fuse_levels : int;
+  vectorize : bool;
+  inline : bool;
+  partition_id : int;
+}
+
+let copy cfg =
+  {
+    cfg with
+    spatial = Array.map Array.copy cfg.spatial;
+    reduce = Array.map Array.copy cfg.reduce;
+  }
+
+let level factors idx = Array.map (fun parts -> parts.(idx)) factors
+
+let product_level factors idx =
+  Array.fold_left (fun acc parts -> acc * parts.(idx)) 1 factors
+
+(* The six loop-order templates permute three serial loop groups
+   (spatial middle tile, reduce outer, reduce middle); the reduce-inner
+   and spatial-inner loops always sit innermost.  [order_perm id]
+   returns the group order, where 0 = spatial-middle, 1 = reduce-outer,
+   2 = reduce-middle. *)
+let order_perms =
+  [| [| 0; 1; 2 |]; [| 0; 2; 1 |]; [| 1; 0; 2 |]; [| 1; 2; 0 |]; [| 2; 0; 1 |]; [| 2; 1; 0 |] |]
+
+let order_perm id =
+  if id < 0 || id >= Array.length order_perms then
+    invalid_arg "Config.order_perm: order_id out of range";
+  order_perms.(id)
+
+let key cfg =
+  let buf = Buffer.create 64 in
+  let add_factors factors =
+    Array.iter
+      (fun parts ->
+        Array.iter (fun f -> Buffer.add_string buf (string_of_int f ^ ".")) parts;
+        Buffer.add_char buf '/')
+      factors
+  in
+  add_factors cfg.spatial;
+  Buffer.add_char buf '|';
+  add_factors cfg.reduce;
+  Buffer.add_string buf
+    (Printf.sprintf "|o%d.u%d.f%d.v%b.i%b.p%d" cfg.order_id cfg.unroll_id
+       cfg.fuse_levels cfg.vectorize cfg.inline cfg.partition_id);
+  Buffer.contents buf
+
+let equal a b = String.equal (key a) (key b)
+
+let pp fmt cfg =
+  let pp_factors fmt factors =
+    Array.iter
+      (fun parts ->
+        Format.fprintf fmt "[%s]"
+          (String.concat "," (Array.to_list (Array.map string_of_int parts))))
+      factors
+  in
+  Format.fprintf fmt
+    "spatial=%a reduce=%a order=%d unroll=%d fuse=%d vec=%b inline=%b part=%d"
+    pp_factors cfg.spatial pp_factors cfg.reduce cfg.order_id cfg.unroll_id
+    cfg.fuse_levels cfg.vectorize cfg.inline cfg.partition_id
+
+let to_string cfg = Format.asprintf "%a" pp cfg

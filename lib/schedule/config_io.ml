@@ -1,0 +1,76 @@
+(* Textual serialization of schedule points, so that tuned schedules
+   can be stored next to a model and reapplied without re-searching
+   (AutoTVM ships "tophub" logs for the same reason).
+
+   Format (one line, human-diffable):
+     s=4,4,8,8;4,4,8,8 r=8,4,8 o=1 u=2 f=1 v=1 i=1 p=0
+*)
+
+let render_factors factors =
+  String.concat ";"
+    (Array.to_list
+       (Array.map
+          (fun parts ->
+            String.concat "," (Array.to_list (Array.map string_of_int parts)))
+          factors))
+
+let to_string (cfg : Config.t) =
+  Printf.sprintf "s=%s r=%s o=%d u=%d f=%d v=%d i=%d p=%d"
+    (render_factors cfg.spatial) (render_factors cfg.reduce) cfg.order_id
+    cfg.unroll_id cfg.fuse_levels
+    (if cfg.vectorize then 1 else 0)
+    (if cfg.inline then 1 else 0)
+    cfg.partition_id
+
+let parse_factors text =
+  if String.equal text "" then [||]
+  else
+    Array.of_list
+      (List.map
+         (fun axis ->
+           Array.of_list (List.map int_of_string (String.split_on_char ',' axis)))
+         (String.split_on_char ';' text))
+
+let field fields key =
+  match List.assoc_opt key fields with
+  | Some value -> value
+  | None -> failwith (Printf.sprintf "missing field %s" key)
+
+let of_string text =
+  match
+    let fields =
+      List.filter_map
+        (fun part ->
+          match String.index_opt part '=' with
+          | Some i ->
+              Some
+                ( String.sub part 0 i,
+                  String.sub part (i + 1) (String.length part - i - 1) )
+          | None -> None)
+        (String.split_on_char ' ' (String.trim text))
+    in
+    {
+      Config.spatial = parse_factors (field fields "s");
+      reduce = parse_factors (field fields "r");
+      order_id = int_of_string (field fields "o");
+      unroll_id = int_of_string (field fields "u");
+      fuse_levels = int_of_string (field fields "f");
+      vectorize = int_of_string (field fields "v") <> 0;
+      inline = int_of_string (field fields "i") <> 0;
+      partition_id = int_of_string (field fields "p");
+    }
+  with
+  | cfg -> Ok cfg
+  | exception Failure msg -> Error ("Config_io.of_string: " ^ msg)
+
+let of_string_exn text =
+  match of_string text with Ok cfg -> cfg | Error msg -> invalid_arg msg
+
+(* Load a config and check it belongs to a space (shape-mismatched
+   logs are a common failure mode when a model changes). *)
+let of_string_for space text =
+  match of_string text with
+  | Error _ as err -> err
+  | Ok cfg ->
+      if Space.valid space cfg then Ok cfg
+      else Error "Config_io.of_string_for: config does not belong to this space"

@@ -1,0 +1,22 @@
+(** Generic shape-aware tiling heuristics: library-style candidate
+    schedules and exploration seed points. *)
+
+val closest_divisor : int -> int -> int
+
+(** Divisible split approximating the target factors of every level
+    but the outermost; [targets] ordered outer-to-inner, result length
+    is [length targets + 1]. *)
+val split_near : extent:int -> targets:int list -> int array
+
+val gpu_config :
+  Space.t -> threads_per_axis:int -> vthread:int -> inner:int -> rtile:int -> Config.t
+
+val cpu_config :
+  Space.t -> mid:int -> inner:int -> vec:int -> rtile:int -> Config.t
+
+val fpga_config :
+  Space.t -> pe_per_axis:int -> tile:int -> partition_id:int -> Config.t
+
+(** Two generic starting points for the target, mixed into the
+    exploration's initial set. *)
+val seed_configs : Space.t -> Config.t list

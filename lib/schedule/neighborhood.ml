@@ -1,0 +1,112 @@
+type move =
+  | Factor_shift of { kind : [ `Spatial | `Reduce ]; axis : int; src : int; dst : int }
+  | Order_step of int
+  | Unroll_step of int
+  | Fuse_step of int
+  | Vectorize_toggle
+  | Inline_toggle
+  | Partition_step of int
+
+let pp_move fmt = function
+  | Factor_shift { kind; axis; src; dst } ->
+      Format.fprintf fmt "%s%d:%d->%d"
+        (match kind with `Spatial -> "s" | `Reduce -> "r")
+        axis src dst
+  | Order_step d -> Format.fprintf fmt "order%+d" d
+  | Unroll_step d -> Format.fprintf fmt "unroll%+d" d
+  | Fuse_step d -> Format.fprintf fmt "fuse%+d" d
+  | Vectorize_toggle -> Format.pp_print_string fmt "vec~"
+  | Inline_toggle -> Format.pp_print_string fmt "inline~"
+  | Partition_step d -> Format.fprintf fmt "part%+d" d
+
+let move_to_string move = Format.asprintf "%a" pp_move move
+
+(* The full direction set of a space, in a stable order (the Q-network
+   output layer is indexed by position in this list). Axes of extent 1
+   have no factor moves and are omitted. *)
+let directions (space : Space.t) =
+  let factor_moves kind extents =
+    List.concat
+      (List.init (Array.length extents) (fun axis ->
+           if extents.(axis) <= 1 then []
+           else
+             let parts =
+               match kind with
+               | `Spatial -> Space.n_spatial_parts
+               | `Reduce -> Space.n_reduce_parts
+             in
+             List.concat
+               (List.init parts (fun src ->
+                    List.filter_map
+                      (fun dst ->
+                        if src = dst then None
+                        else Some (Factor_shift { kind; axis; src; dst }))
+                      (List.init parts Fun.id)))))
+  in
+  let common =
+    factor_moves `Spatial space.spatial_extents
+    @ factor_moves `Reduce space.reduce_extents
+    @ [ Order_step 1; Order_step (-1); Unroll_step 1; Unroll_step (-1) ]
+  in
+  let hardware =
+    match space.target with
+    | Target.Gpu _ -> []
+    | Target.Cpu _ -> [ Fuse_step 1; Fuse_step (-1); Vectorize_toggle ]
+    | Target.Fpga _ -> [ Partition_step 1; Partition_step (-1) ]
+  in
+  let inline = if space.has_producers then [ Inline_toggle ] else [] in
+  common @ hardware @ inline
+
+(* Apply a move; [None] when it would leave the space (the paper's
+   exploration never revisits invalid neighbours). *)
+let apply (space : Space.t) (cfg : Config.t) move =
+  match move with
+  | Factor_shift { kind; axis; src; dst } ->
+      let factors =
+        match kind with `Spatial -> cfg.spatial | `Reduce -> cfg.reduce
+      in
+      if axis >= Array.length factors then None
+      else
+        let parts = factors.(axis) in
+        if src >= Array.length parts || dst >= Array.length parts then None
+        else (
+          match Ft_util.Mathx.smallest_prime_factor parts.(src) with
+          | None -> None
+          | Some p ->
+              let cfg = Config.copy cfg in
+              let parts =
+                match kind with
+                | `Spatial -> cfg.spatial.(axis)
+                | `Reduce -> cfg.reduce.(axis)
+              in
+              parts.(src) <- parts.(src) / p;
+              parts.(dst) <- parts.(dst) * p;
+              Some cfg)
+  | Order_step d ->
+      let order_id = cfg.order_id + d in
+      if order_id < 0 || order_id >= Space.n_orders then None
+      else Some { (Config.copy cfg) with order_id }
+  | Unroll_step d ->
+      let unroll_id = cfg.unroll_id + d in
+      if unroll_id < 0 || unroll_id >= Array.length Space.unroll_depths then None
+      else Some { (Config.copy cfg) with unroll_id }
+  | Fuse_step d ->
+      let fuse_levels = cfg.fuse_levels + d in
+      if fuse_levels < 1 || fuse_levels > 2 then None
+      else Some { (Config.copy cfg) with fuse_levels }
+  | Vectorize_toggle -> Some { (Config.copy cfg) with vectorize = not cfg.vectorize }
+  | Inline_toggle ->
+      if space.has_producers then Some { (Config.copy cfg) with inline = not cfg.inline }
+      else None
+  | Partition_step d ->
+      let partition_id = cfg.partition_id + d in
+      if partition_id < 0 || partition_id >= Array.length Space.partitions then None
+      else Some { (Config.copy cfg) with partition_id }
+
+let neighbors space cfg =
+  List.filter_map
+    (fun move ->
+      match apply space cfg move with
+      | Some next -> Some (move, next)
+      | None -> None)
+    (directions space)

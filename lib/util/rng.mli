@@ -1,0 +1,41 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every stochastic component of the framework draws from an explicit
+    [Rng.t] so that searches, tests and benches are reproducible from a
+    seed. *)
+
+type t
+
+(** [create seed] builds a generator whose stream is a pure function of
+    [seed]. *)
+val create : int -> t
+
+(** [copy t] is an independent generator that will replay [t]'s future
+    stream. *)
+val copy : t -> t
+
+(** Next raw 64-bit value; primarily exposed for testing. *)
+val next_int64 : t -> int64
+
+(** [int t bound] is uniform in [0, bound). Raises [Invalid_argument]
+    when [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [float t bound] is uniform in [0, bound). *)
+val float : t -> float -> float
+
+val bool : t -> bool
+
+(** [split t] derives a new independent generator, advancing [t]. *)
+val split : t -> t
+
+(** Uniform choice. Raises [Invalid_argument] on an empty container. *)
+val choose : t -> 'a list -> 'a
+
+val choose_array : t -> 'a array -> 'a
+
+(** In-place Fisher-Yates shuffle. *)
+val shuffle : t -> 'a array -> unit
+
+(** Standard normal sample (Box-Muller). *)
+val gaussian : t -> float

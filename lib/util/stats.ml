@@ -1,0 +1,32 @@
+let mean = function
+  | [] -> invalid_arg "Stats.mean: empty list"
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let geomean = function
+  | [] -> invalid_arg "Stats.geomean: empty list"
+  | xs ->
+      if List.exists (fun x -> x <= 0.) xs then
+        invalid_arg "Stats.geomean: requires positive values";
+      exp (mean (List.map log xs))
+
+let stddev xs =
+  let m = mean xs in
+  sqrt (mean (List.map (fun x -> (x -. m) ** 2.) xs))
+
+let minimum = function
+  | [] -> invalid_arg "Stats.minimum: empty list"
+  | x :: xs -> List.fold_left Float.min x xs
+
+let maximum = function
+  | [] -> invalid_arg "Stats.maximum: empty list"
+  | x :: xs -> List.fold_left Float.max x xs
+
+let normalize_to_max xs =
+  let top = maximum xs in
+  if top <= 0. then invalid_arg "Stats.normalize_to_max: max must be positive";
+  List.map (fun x -> x /. top) xs
+
+let ratio_list ~num ~den =
+  if List.length num <> List.length den then
+    invalid_arg "Stats.ratio_list: length mismatch";
+  List.map2 (fun a b -> if b = 0. then nan else a /. b) num den

@@ -1,0 +1,20 @@
+(** Small statistics helpers for reporting results (the paper reports
+    geometric-mean speedups throughout). *)
+
+val mean : float list -> float
+
+(** Geometric mean; raises on empty input or non-positive values. *)
+val geomean : float list -> float
+
+val stddev : float list -> float
+
+val minimum : float list -> float
+
+val maximum : float list -> float
+
+(** Scale a series so its maximum is 1.0 (for "normalized performance"
+    figures). *)
+val normalize_to_max : float list -> float list
+
+(** Element-wise [num /. den]; [nan] where the denominator is zero. *)
+val ratio_list : num:float list -> den:float list -> float list

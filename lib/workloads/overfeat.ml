@@ -1,0 +1,26 @@
+(* The five convolution layers of OverFeat (fast model), the second
+   network of the paper's §6.6 case study. *)
+
+type layer = {
+  name : string;
+  c : int;
+  k : int;
+  hw : int;
+  kernel : int;
+  stride : int;
+  pad : int;
+}
+
+let layers =
+  [
+    { name = "conv1"; c = 3; k = 96; hw = 231; kernel = 11; stride = 4; pad = 0 };
+    { name = "conv2"; c = 96; k = 256; hw = 24; kernel = 5; stride = 1; pad = 0 };
+    { name = "conv3"; c = 256; k = 512; hw = 12; kernel = 3; stride = 1; pad = 1 };
+    { name = "conv4"; c = 512; k = 1024; hw = 12; kernel = 3; stride = 1; pad = 1 };
+    { name = "conv5"; c = 1024; k = 1024; hw = 12; kernel = 3; stride = 1; pad = 1 };
+  ]
+
+let graph ?(batch = 1) layer =
+  Ft_ir.Operators.conv2d ~batch ~in_channels:layer.c ~out_channels:layer.k
+    ~height:layer.hw ~width:layer.hw ~kernel:layer.kernel ~stride:layer.stride
+    ~pad:layer.pad ()

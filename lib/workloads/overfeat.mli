@@ -1,0 +1,14 @@
+(** OverFeat (fast) convolution layers — §6.6. *)
+
+type layer = {
+  name : string;
+  c : int;
+  k : int;
+  hw : int;
+  kernel : int;
+  stride : int;
+  pad : int;
+}
+
+val layers : layer list
+val graph : ?batch:int -> layer -> Ft_ir.Op.graph

@@ -1,0 +1,47 @@
+(* Table 4: the 15 distinct convolution layers of YOLO-v1. *)
+
+type layer = {
+  name : string;
+  c : int;  (* input channels *)
+  k : int;  (* output channels *)
+  hw : int;  (* input height = width *)
+  kernel : int;
+  stride : int;
+}
+
+let layers =
+  [
+    { name = "C1"; c = 3; k = 64; hw = 448; kernel = 7; stride = 2 };
+    { name = "C2"; c = 64; k = 192; hw = 112; kernel = 3; stride = 1 };
+    { name = "C3"; c = 192; k = 128; hw = 56; kernel = 1; stride = 1 };
+    { name = "C4"; c = 128; k = 256; hw = 56; kernel = 3; stride = 1 };
+    { name = "C5"; c = 256; k = 256; hw = 56; kernel = 1; stride = 1 };
+    { name = "C6"; c = 256; k = 512; hw = 56; kernel = 3; stride = 1 };
+    { name = "C7"; c = 512; k = 256; hw = 28; kernel = 1; stride = 1 };
+    { name = "C8"; c = 256; k = 512; hw = 28; kernel = 3; stride = 1 };
+    { name = "C9"; c = 512; k = 512; hw = 28; kernel = 1; stride = 1 };
+    { name = "C10"; c = 512; k = 1024; hw = 28; kernel = 3; stride = 1 };
+    { name = "C11"; c = 1024; k = 512; hw = 14; kernel = 1; stride = 1 };
+    { name = "C12"; c = 512; k = 1024; hw = 14; kernel = 3; stride = 1 };
+    { name = "C13"; c = 1024; k = 1024; hw = 14; kernel = 3; stride = 1 };
+    { name = "C14"; c = 1024; k = 1024; hw = 14; kernel = 3; stride = 2 };
+    { name = "C15"; c = 1024; k = 1024; hw = 7; kernel = 3; stride = 1 };
+  ]
+
+let find name =
+  match List.find_opt (fun layer -> String.equal layer.name name) layers with
+  | Some layer -> layer
+  | None -> invalid_arg (Printf.sprintf "Yolo.find: no layer %s" name)
+
+let graph ?(batch = 1) layer =
+  Ft_ir.Operators.conv2d ~batch ~in_channels:layer.c ~out_channels:layer.k
+    ~height:layer.hw ~width:layer.hw ~kernel:layer.kernel ~stride:layer.stride
+    ~pad:(layer.kernel / 2) ()
+
+(* The 24 convolution layers of the full YOLO-v1 network, expressed as
+   the Table 4 configurations with their repetition pattern. *)
+let full_network =
+  List.map find
+    [ "C1"; "C2"; "C3"; "C4"; "C5"; "C6";
+      "C7"; "C8"; "C7"; "C8"; "C7"; "C8"; "C7"; "C8"; "C9"; "C10";
+      "C11"; "C12"; "C11"; "C12"; "C13"; "C14"; "C15"; "C15" ]

@@ -1,0 +1,21 @@
+(** The YOLO-v1 convolution layers of Table 4. *)
+
+type layer = {
+  name : string;
+  c : int;
+  k : int;
+  hw : int;
+  kernel : int;
+  stride : int;
+}
+
+(** The 15 distinct layers C1..C15. *)
+val layers : layer list
+
+val find : string -> layer
+
+(** Build the 2D-convolution mini-graph of a layer (same-padding). *)
+val graph : ?batch:int -> layer -> Ft_ir.Op.graph
+
+(** All 24 conv layers of the full network, with repetitions. *)
+val full_network : layer list

@@ -1,0 +1,61 @@
+let check_bool = Alcotest.(check bool)
+
+let test_weight_properties () =
+  Alcotest.(check (float 1e-9)) "best has weight 1" 1.
+    (Ft_anneal.Sa.weight ~gamma:2. ~best:10. 10.);
+  check_bool "worse is lighter" true
+    (Ft_anneal.Sa.weight ~gamma:2. ~best:10. 5.
+    < Ft_anneal.Sa.weight ~gamma:2. ~best:10. 9.);
+  Alcotest.(check (float 1e-9)) "degenerate best" 1.
+    (Ft_anneal.Sa.weight ~gamma:2. ~best:0. 0.)
+
+let test_select_empty_and_count () =
+  let rng = Ft_util.Rng.create 1 in
+  Alcotest.(check (list int)) "empty" []
+    (Ft_anneal.Sa.select rng ~gamma:2. ~count:3 []);
+  Alcotest.(check int) "count" 5
+    (List.length (Ft_anneal.Sa.select rng ~gamma:2. ~count:5 [ ("a", 1.) ]))
+
+let test_select_prefers_good_points () =
+  let rng = Ft_util.Rng.create 42 in
+  let points = [ ("bad", 1.); ("good", 10.) ] in
+  let picks = Ft_anneal.Sa.select rng ~gamma:4. ~count:2000 points in
+  let good = List.length (List.filter (String.equal "good") picks) in
+  check_bool "good dominates" true (good > 1800)
+
+let test_gamma_controls_selectivity () =
+  let count_good gamma =
+    let rng = Ft_util.Rng.create 7 in
+    let picks =
+      Ft_anneal.Sa.select rng ~gamma ~count:2000 [ ("bad", 5.); ("good", 10.) ]
+    in
+    List.length (List.filter (String.equal "good") picks)
+  in
+  check_bool "higher gamma is greedier" true (count_good 8. > count_good 0.5)
+
+let test_accept () =
+  let rng = Ft_util.Rng.create 3 in
+  check_bool "improvement always accepted" true
+    (Ft_anneal.Sa.accept rng ~temperature:0. ~current:1. ~candidate:2.);
+  check_bool "zero temperature rejects worse" false
+    (Ft_anneal.Sa.accept rng ~temperature:0. ~current:2. ~candidate:1.);
+  (* at high temperature, worse candidates get through sometimes *)
+  let accepted = ref 0 in
+  for _ = 1 to 1000 do
+    if Ft_anneal.Sa.accept rng ~temperature:1.0 ~current:2. ~candidate:1.5 then
+      incr accepted
+  done;
+  check_bool "hot chain accepts some" true (!accepted > 100)
+
+let () =
+  Alcotest.run "ft_anneal"
+    [
+      ( "sa",
+        [
+          Alcotest.test_case "weights" `Quick test_weight_properties;
+          Alcotest.test_case "select basics" `Quick test_select_empty_and_count;
+          Alcotest.test_case "prefers good" `Quick test_select_prefers_good_points;
+          Alcotest.test_case "gamma selectivity" `Quick test_gamma_controls_selectivity;
+          Alcotest.test_case "metropolis accept" `Quick test_accept;
+        ] );
+    ]

@@ -1,0 +1,139 @@
+let check_bool = Alcotest.(check bool)
+
+let options = { Flextensor.default_options with n_trials = 15 }
+
+let test_optimize_report_coherent () =
+  let graph = Flextensor.Operators.gemm ~m:64 ~n:64 ~k:64 in
+  let report = Flextensor.optimize ~options graph Flextensor.Target.v100 in
+  check_bool "perf valid" true report.perf.valid;
+  check_bool "space size positive" true (report.space_size > 1.);
+  check_bool "primitives non-empty" true (List.length report.primitives > 3);
+  check_bool "config in space" true
+    (Flextensor.Space.valid report.space report.config);
+  check_bool "history recorded" true (List.length report.history > 5);
+  check_bool "evals counted" true (report.n_evals > 5);
+  check_bool "sim clock advanced" true (report.sim_time_s > 0.);
+  Alcotest.(check int) "analysis sees one node" 1 report.analysis.num_nodes
+
+let test_optimize_deterministic () =
+  let graph = Flextensor.Operators.gemm ~m:64 ~n:64 ~k:64 in
+  let a = Flextensor.optimize ~options graph Flextensor.Target.v100 in
+  let b = Flextensor.optimize ~options graph Flextensor.Target.v100 in
+  check_bool "same schedule" true (Flextensor.Config.equal a.config b.config)
+
+let test_generated_code_mentions_target_binding () =
+  let contains haystack needle =
+    let n = String.length needle and h = String.length haystack in
+    let rec go i =
+      i + n <= h && (String.equal (String.sub haystack i n) needle || go (i + 1))
+    in
+    go 0
+  in
+  let graph = Flextensor.Operators.gemm ~m:32 ~n:32 ~k:32 in
+  let gpu = Flextensor.optimize ~options graph Flextensor.Target.v100 in
+  check_bool "gpu code has blockIdx" true
+    (contains (Flextensor.generated_code gpu) "blockIdx");
+  let cpu = Flextensor.optimize ~options graph Flextensor.Target.xeon_e5_2699_v4 in
+  check_bool "cpu code has parallel" true
+    (contains (Flextensor.generated_code cpu) "parallel")
+
+let test_verify_through_api () =
+  let graph = Flextensor.Operators.conv2d ~batch:1 ~in_channels:3 ~out_channels:4
+      ~height:6 ~width:6 ~kernel:3 ~pad:1 () in
+  let report = Flextensor.optimize ~options graph Flextensor.Target.v100 in
+  check_bool "verifies" true (Result.is_ok (Flextensor.verify report))
+
+let test_all_search_methods_through_api () =
+  let graph = Flextensor.Operators.gemm ~m:64 ~n:64 ~k:64 in
+  List.iter
+    (fun search ->
+      let report =
+        Flextensor.optimize ~options:{ options with search } graph
+          Flextensor.Target.v100
+      in
+      check_bool (Flextensor.search_name search ^ " works") true report.perf.valid)
+    [ Flextensor.Q_learning; Flextensor.P_exhaustive; Flextensor.Random_walk ]
+
+let test_invalid_graph_rejected () =
+  let node =
+    {
+      Flextensor.Op.tag = "bad";
+      output = "O";
+      spatial = [ Flextensor.Op.axis "i" 4 ];
+      reduce = [];
+      init = 0.;
+      combine = Flextensor.Op.Acc_sum;
+      body = Flextensor.Expr.Access ("missing", [ Flextensor.Expr.v "i" ]);
+    }
+  in
+  let graph =
+    { Flextensor.Op.graph_name = "bad"; inputs = []; ops = [ node ]; output = "O" }
+  in
+  check_bool "raises" true
+    (try
+       ignore (Flextensor.optimize ~options graph Flextensor.Target.v100);
+       false
+     with Invalid_argument _ -> true)
+
+let test_max_evals_option () =
+  let graph = Flextensor.Operators.gemm ~m:64 ~n:64 ~k:64 in
+  let report =
+    Flextensor.optimize
+      ~options:{ options with n_trials = 10_000; max_evals = Some 25 }
+      graph Flextensor.Target.v100
+  in
+  check_bool "budget respected (with walk slack)" true (report.n_evals <= 40)
+
+let test_flops_scale_option () =
+  let graph = Flextensor.Operators.gemm ~m:64 ~n:64 ~k:64 in
+  let normal = Flextensor.optimize ~options graph Flextensor.Target.v100 in
+  let scaled =
+    Flextensor.optimize ~options:{ options with flops_scale = 0.5 } graph
+      Flextensor.Target.v100
+  in
+  check_bool "halved compute is at least as fast" true
+    (scaled.perf.time_s <= normal.perf.time_s +. 1e-9)
+
+let test_analysis_embedded_in_report () =
+  let graph = Flextensor.Operators.conv2d ~batch:1 ~in_channels:3 ~out_channels:4
+      ~height:6 ~width:6 ~kernel:3 ~pad:1 () in
+  let report = Flextensor.optimize ~options graph Flextensor.Target.v100 in
+  Alcotest.(check int) "two nodes" 2 report.analysis.num_nodes;
+  Alcotest.(check int) "conv reduce loops" 3 report.analysis.total_reduce
+
+let test_restarts_never_worse () =
+  let graph = Flextensor.Operators.conv2d ~batch:1 ~in_channels:16 ~out_channels:32
+      ~height:14 ~width:14 ~kernel:3 ~stride:2 ~pad:1 () in
+  let single = Flextensor.optimize ~options graph Flextensor.Target.v100 in
+  let multi =
+    Flextensor.optimize ~options:{ options with restarts = 3 } graph
+      Flextensor.Target.v100
+  in
+  check_bool "restarts never worse" true (multi.perf_value >= single.perf_value);
+  check_bool "accounting summed" true (multi.n_evals > single.n_evals)
+
+let test_summary_string () =
+  let graph = Flextensor.Operators.gemm ~m:32 ~n:32 ~k:32 in
+  let report = Flextensor.optimize ~options graph Flextensor.Target.v100 in
+  let summary = Flextensor.report_summary report in
+  check_bool "mentions graph" true (String.length summary > 40)
+
+let () =
+  Alcotest.run "flextensor"
+    [
+      ( "public api",
+        [
+          Alcotest.test_case "report coherent" `Quick test_optimize_report_coherent;
+          Alcotest.test_case "deterministic" `Quick test_optimize_deterministic;
+          Alcotest.test_case "generated code" `Quick
+            test_generated_code_mentions_target_binding;
+          Alcotest.test_case "verify" `Quick test_verify_through_api;
+          Alcotest.test_case "all methods" `Quick test_all_search_methods_through_api;
+          Alcotest.test_case "invalid graph" `Quick test_invalid_graph_rejected;
+          Alcotest.test_case "max evals" `Quick test_max_evals_option;
+          Alcotest.test_case "flops scale" `Quick test_flops_scale_option;
+          Alcotest.test_case "embedded analysis" `Quick test_analysis_embedded_in_report;
+          Alcotest.test_case "restarts" `Quick test_restarts_never_worse;
+          Alcotest.test_case "summary" `Quick test_summary_string;
+        ] );
+    ]

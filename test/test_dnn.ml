@@ -1,0 +1,120 @@
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let tiny_conv =
+  Ft_ir.Operators.conv2d ~batch:1 ~in_channels:2 ~out_channels:3 ~height:5 ~width:5
+    ~kernel:3 ~pad:1 ()
+
+let test_fused_graph_structure () =
+  let fused = Ft_dnn.Fusion.with_bias_relu tiny_conv in
+  check_int "4 nodes: pad, conv, bias, relu" 4 (List.length fused.ops);
+  Alcotest.(check string) "output" "O.relu" fused.output;
+  check_bool "validates" true (Result.is_ok (Ft_ir.Op.validate fused))
+
+let test_fused_graph_semantics () =
+  (* Execute the fused graph and compare with a manual conv + bias +
+     relu pipeline on the same inputs. *)
+  let fused = Ft_dnn.Fusion.with_bias_relu tiny_conv in
+  let rng = Ft_util.Rng.create 3 in
+  let env = Ft_interp.Reference.random_env rng fused in
+  let out = Ft_interp.Reference.run_graph env fused in
+  check_bool "relu clamps at zero" true (Array.for_all (fun x -> x >= 0.) out);
+  (* recompute manually *)
+  let conv_out = (Ft_interp.Buffer_env.find env "O").data in
+  let bias = (Ft_interp.Buffer_env.find env "bias").data in
+  let per_channel = Array.length conv_out / Array.length bias in
+  Array.iteri
+    (fun i x ->
+      let expected = Float.max 0. (conv_out.(i) +. bias.(i / per_channel)) in
+      check_bool "matches manual pipeline" true (Float.abs (x -. expected) < 1e-6))
+    out
+
+let test_epilogue_detection () =
+  let fused = Ft_dnn.Fusion.with_bias_relu tiny_conv in
+  let epilogue = Ft_dnn.Fusion.epilogue_ops fused in
+  check_int "two epilogue nodes" 2 (List.length epilogue);
+  check_int "bare conv has none" 0
+    (List.length (Ft_dnn.Fusion.epilogue_ops tiny_conv))
+
+let test_unfused_epilogue_cost_positive () =
+  let fused = Ft_dnn.Fusion.with_bias_relu tiny_conv in
+  let cost = Ft_dnn.Fusion.unfused_epilogue_time Ft_schedule.Target.v100 fused in
+  check_bool "positive" true (cost > 0.)
+
+let test_count_occurrences () =
+  let layers =
+    List.map
+      (fun layer -> (layer.Ft_workloads.Yolo.name, Ft_workloads.Yolo.graph layer))
+      Ft_workloads.Yolo.full_network
+  in
+  let distinct = Ft_dnn.Runner.count_occurrences layers in
+  check_int "15 distinct" 15 (List.length distinct);
+  let total = List.fold_left (fun acc (_, _, n) -> acc + n) 0 distinct in
+  check_int "24 total" 24 total;
+  let _, _, c7 = List.find (fun (name, _, _) -> name = "C7") distinct in
+  check_int "C7 repeats 4x" 4 c7
+
+let test_single_layer_run () =
+  let layers = [ ("L", tiny_conv, 2) ] in
+  let result =
+    Ft_dnn.Runner.run ~max_evals:40 ~network:"tiny" ~target:Ft_schedule.Target.v100
+      layers Ft_dnn.Runner.Flextensor_q
+  in
+  check_int "one layer time" 1 (List.length result.layer_times);
+  check_bool "total accounts occurrences" true
+    (result.total_s
+    >= 2. *. (List.hd result.layer_times).kernel_s -. 1e-12);
+  Alcotest.(check string) "name" "FlexTensor" result.optimizer_name
+
+(* Fused graphs must survive the full schedule-and-execute path: the
+   conv node is scheduled, the epilogue is materialized after it, and
+   the result matches the reference. *)
+let test_fused_graph_schedules_correctly () =
+  let fused = Ft_dnn.Fusion.with_bias_relu tiny_conv in
+  let rng = Ft_util.Rng.create 13 in
+  List.iter
+    (fun target ->
+      let space = Ft_schedule.Space.make fused target in
+      for i = 0 to 3 do
+        let cfg =
+          if i = 0 then Ft_schedule.Space.default_config space
+          else Ft_schedule.Space.random_config rng space
+        in
+        match Ft_lower.Verify.check ~seed:i space cfg with
+        | Ok () -> ()
+        | Error msg -> Alcotest.failf "%s: %s" (Ft_schedule.Target.name target) msg
+      done)
+    Ft_schedule.Target.[ v100; xeon_e5_2699_v4; vu9p ]
+
+let test_fusion_beats_unfused () =
+  let layers = [ ("L", tiny_conv, 1) ] in
+  let target = Ft_schedule.Target.v100 in
+  let fused =
+    Ft_dnn.Runner.run ~max_evals:40 ~fused:true ~network:"t" ~target layers
+      Ft_dnn.Runner.Flextensor_q
+  in
+  let unfused =
+    Ft_dnn.Runner.run ~max_evals:40 ~fused:false ~network:"t" ~target layers
+      Ft_dnn.Runner.Flextensor_q
+  in
+  check_bool "fusion no slower" true (fused.total_s <= unfused.total_s +. 1e-12)
+
+let () =
+  Alcotest.run "ft_dnn"
+    [
+      ( "fusion",
+        [
+          Alcotest.test_case "structure" `Quick test_fused_graph_structure;
+          Alcotest.test_case "semantics" `Quick test_fused_graph_semantics;
+          Alcotest.test_case "epilogue detection" `Quick test_epilogue_detection;
+          Alcotest.test_case "epilogue cost" `Quick test_unfused_epilogue_cost_positive;
+          Alcotest.test_case "fused schedule correctness" `Quick
+            test_fused_graph_schedules_correctly;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "occurrence counting" `Quick test_count_occurrences;
+          Alcotest.test_case "single layer" `Quick test_single_layer_run;
+          Alcotest.test_case "fusion helps" `Quick test_fusion_beats_unfused;
+        ] );
+    ]

@@ -1,0 +1,154 @@
+open Ft_schedule
+
+let check_bool = Alcotest.(check bool)
+
+let gemm_space () = Space.make (Ft_ir.Operators.gemm ~m:256 ~n:256 ~k:256) Target.v100
+
+let test_evaluator_caching () =
+  let space = gemm_space () in
+  let evaluator = Ft_explore.Evaluator.create space in
+  let cfg = Space.default_config space in
+  let v1 = Ft_explore.Evaluator.measure evaluator cfg in
+  let t1 = Ft_explore.Evaluator.clock evaluator in
+  let v2 = Ft_explore.Evaluator.measure evaluator cfg in
+  let t2 = Ft_explore.Evaluator.clock evaluator in
+  Alcotest.(check (float 1e-9)) "cached value" v1 v2;
+  Alcotest.(check int) "one distinct eval" 1 (Ft_explore.Evaluator.n_evals evaluator);
+  check_bool "cache hit is much cheaper" true (t2 -. t1 < 0.01)
+
+let test_evaluator_charges_hardware_cost () =
+  let space = gemm_space () in
+  let evaluator =
+    Ft_explore.Evaluator.create ~mode:Ft_explore.Evaluator.Hardware_measure space
+  in
+  ignore (Ft_explore.Evaluator.measure evaluator (Space.default_config space));
+  check_bool "at least compile cost" true (Ft_explore.Evaluator.clock evaluator >= 0.3)
+
+let test_evaluator_model_mode_cheap () =
+  let space = gemm_space () in
+  let evaluator =
+    Ft_explore.Evaluator.create ~mode:Ft_explore.Evaluator.Model_query space
+  in
+  ignore (Ft_explore.Evaluator.measure evaluator (Space.default_config space));
+  check_bool "model query cheap" true (Ft_explore.Evaluator.clock evaluator < 0.01)
+
+let test_fpga_defaults_to_model () =
+  check_bool "fpga model mode" true
+    (Ft_explore.Evaluator.default_mode Target.vu9p = Ft_explore.Evaluator.Model_query);
+  check_bool "gpu hardware mode" true
+    (Ft_explore.Evaluator.default_mode Target.v100
+    = Ft_explore.Evaluator.Hardware_measure)
+
+let history_nondecreasing (result : Ft_explore.Driver.result) =
+  let rec go best = function
+    | [] -> true
+    | (s : Ft_explore.Driver.sample) :: rest ->
+        s.best_value >= best -. 1e-9 && go s.best_value rest
+  in
+  go 0. result.history
+
+let test_q_method_improves_and_is_deterministic () =
+  let space = gemm_space () in
+  let a = Ft_explore.Q_method.search ~seed:1 ~n_trials:20 space in
+  let b = Ft_explore.Q_method.search ~seed:1 ~n_trials:20 space in
+  check_bool "deterministic" true (Config.equal a.best_config b.best_config);
+  Alcotest.(check (float 1e-9)) "same value" a.best_value b.best_value;
+  check_bool "improves on naive" true
+    (a.best_value
+    > Ft_hw.Cost.perf_value space (Ft_hw.Cost.evaluate space (Space.default_config space))
+    );
+  check_bool "history monotone" true (history_nondecreasing a);
+  check_bool "best config valid" true (Space.valid space a.best_config)
+
+let test_p_method_runs () =
+  let space = gemm_space () in
+  let result = Ft_explore.P_method.search ~seed:1 ~n_trials:5 space in
+  check_bool "found something" true (result.best_value > 0.);
+  check_bool "history monotone" true (history_nondecreasing result)
+
+let test_random_method_runs () =
+  let space = gemm_space () in
+  let result = Ft_explore.Random_method.search ~seed:1 ~n_trials:50 space in
+  check_bool "found something" true (result.best_value > 0.)
+
+let test_max_evals_budget () =
+  let space = gemm_space () in
+  let result = Ft_explore.Q_method.search ~seed:1 ~n_trials:1000 ~max_evals:30 space in
+  check_bool "stopped at budget" true (result.n_evals <= 40)
+
+let test_q_beats_random_at_equal_budget () =
+  let space = gemm_space () in
+  let q = Ft_explore.Q_method.search ~seed:3 ~n_trials:1000 ~max_evals:150 space in
+  let r = Ft_explore.Random_method.search ~seed:3 ~n_trials:1000 ~max_evals:150 space in
+  check_bool "guided beats random" true (q.best_value > r.best_value)
+
+let test_time_to_reach () =
+  let space = gemm_space () in
+  let result = Ft_explore.Q_method.search ~seed:5 ~n_trials:15 space in
+  let early = Ft_explore.Driver.time_to_reach result ~fraction:0.1 in
+  let late = Ft_explore.Driver.time_to_reach result ~fraction:1.0 in
+  check_bool "ordering" true (early <= late);
+  check_bool "within run" true (late <= result.sim_time_s +. 1e-9)
+
+let test_invalid_configs_charged_failed_compile () =
+  let space = gemm_space () in
+  let evaluator =
+    Ft_explore.Evaluator.create ~mode:Ft_explore.Evaluator.Hardware_measure space
+  in
+  let cfg = Space.default_config space in
+  cfg.spatial.(0).(0) <- 7 (* outside the space *);
+  let value = Ft_explore.Evaluator.measure evaluator cfg in
+  Alcotest.(check (float 0.)) "zero value" 0. value;
+  let clock = Ft_explore.Evaluator.clock evaluator in
+  check_bool "cheap failure" true (clock < 0.3)
+
+let test_cold_start_option () =
+  let space = gemm_space () in
+  let warm = Ft_explore.Q_method.search ~seed:4 ~n_trials:5 space in
+  let cold = Ft_explore.Q_method.search ~seed:4 ~n_trials:5 ~heuristic_seeds:false space in
+  (* with seeds, the first evaluations already include good points *)
+  check_bool "warm at least as good at tiny budgets" true
+    (warm.best_value >= cold.best_value *. 0.5);
+  check_bool "both positive" true (cold.best_value > 0.)
+
+let test_epsilon_option_changes_trajectory () =
+  let space = gemm_space () in
+  let greedy = Ft_explore.Q_method.search ~seed:6 ~n_trials:15 ~epsilon:0.0 space in
+  let exploratory = Ft_explore.Q_method.search ~seed:6 ~n_trials:15 ~epsilon:1.0 space in
+  check_bool "both find something" true
+    (greedy.best_value > 0. && exploratory.best_value > 0.)
+
+let test_driver_rejects_empty_init () =
+  let space = gemm_space () in
+  let evaluator = Ft_explore.Evaluator.create space in
+  Alcotest.check_raises "empty init"
+    (Invalid_argument "Driver.init: need at least one initial point") (fun () ->
+      ignore (Ft_explore.Driver.init evaluator []))
+
+let () =
+  Alcotest.run "ft_explore"
+    [
+      ( "evaluator",
+        [
+          Alcotest.test_case "caching" `Quick test_evaluator_caching;
+          Alcotest.test_case "hardware cost" `Quick test_evaluator_charges_hardware_cost;
+          Alcotest.test_case "model cost" `Quick test_evaluator_model_mode_cheap;
+          Alcotest.test_case "mode defaults" `Quick test_fpga_defaults_to_model;
+        ] );
+      ( "methods",
+        [
+          Alcotest.test_case "q-method deterministic+improves" `Quick
+            test_q_method_improves_and_is_deterministic;
+          Alcotest.test_case "p-method" `Quick test_p_method_runs;
+          Alcotest.test_case "random" `Quick test_random_method_runs;
+          Alcotest.test_case "eval budget" `Quick test_max_evals_budget;
+          Alcotest.test_case "q beats random" `Slow test_q_beats_random_at_equal_budget;
+          Alcotest.test_case "time to reach" `Quick test_time_to_reach;
+          Alcotest.test_case "failed compile cost" `Quick
+            test_invalid_configs_charged_failed_compile;
+          Alcotest.test_case "cold start" `Quick test_cold_start_option;
+          Alcotest.test_case "epsilon option" `Quick
+            test_epsilon_option_changes_trajectory;
+          Alcotest.test_case "empty init" `Quick test_driver_rejects_empty_init;
+        ] );
+    ]

@@ -1,0 +1,95 @@
+let check_bool = Alcotest.(check bool)
+
+let make_agent ?(epsilon = 0.3) ?(epsilon_min = 0.0) seed =
+  Ft_qlearn.Agent.create ~epsilon ~epsilon_min (Ft_util.Rng.create seed)
+    ~feature_dim:2 ~n_actions:3
+
+let test_select_respects_validity () =
+  let agent = make_agent 1 in
+  Alcotest.(check (option int)) "no valid actions" None
+    (Ft_qlearn.Agent.select agent ~state:[| 0.; 0. |] ~valid:[]);
+  match Ft_qlearn.Agent.select agent ~state:[| 0.; 0. |] ~valid:[ 1 ] with
+  | Some 1 -> ()
+  | _ -> Alcotest.fail "must pick the only valid action"
+
+let test_training_every_five () =
+  let agent = make_agent 2 in
+  let transition action reward =
+    {
+      Ft_qlearn.Agent.state = [| 0.; 0. |];
+      action;
+      reward;
+      next_state = [| 1.; 0. |];
+      next_valid = [ 0; 1; 2 ];
+    }
+  in
+  let losses = ref 0 in
+  for i = 1 to 20 do
+    match Ft_qlearn.Agent.record agent (transition (i mod 3) 0.1) with
+    | Some _ -> incr losses
+    | None -> ()
+  done;
+  Alcotest.(check int) "every fifth record trains" 4 !losses;
+  Alcotest.(check int) "recorded" 20 (Ft_qlearn.Agent.recorded agent)
+
+let test_epsilon_decays () =
+  let agent = make_agent 3 in
+  let before = Ft_qlearn.Agent.epsilon agent in
+  for _ = 1 to 50 do
+    ignore
+      (Ft_qlearn.Agent.record agent
+         {
+           Ft_qlearn.Agent.state = [| 0.; 0. |];
+           action = 0;
+           reward = 0.;
+           next_state = [| 0.; 0. |];
+           next_valid = [];
+         })
+  done;
+  check_bool "decayed" true (Ft_qlearn.Agent.epsilon agent < before)
+
+(* A two-armed bandit: action 0 always rewards 1, actions 1 and 2
+   reward -1.  After training, the greedy choice must be action 0. *)
+let test_learns_bandit () =
+  let agent = make_agent ~epsilon:1.0 ~epsilon_min:0.0 4 in
+  let state = [| 0.5; -0.5 |] in
+  for _ = 1 to 400 do
+    let action =
+      match Ft_qlearn.Agent.select agent ~state ~valid:[ 0; 1; 2 ] with
+      | Some a -> a
+      | None -> Alcotest.fail "must select"
+    in
+    let reward = if action = 0 then 1.0 else -1.0 in
+    ignore
+      (Ft_qlearn.Agent.record agent
+         { Ft_qlearn.Agent.state; action; reward; next_state = state; next_valid = [] })
+  done;
+  let q = Ft_qlearn.Agent.q_values agent state in
+  check_bool "action 0 dominates" true (q.(0) > q.(1) && q.(0) > q.(2))
+
+let test_record_rejects_bad_action () =
+  let agent = make_agent 5 in
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Agent.record: action index out of range") (fun () ->
+      ignore
+        (Ft_qlearn.Agent.record agent
+           {
+             Ft_qlearn.Agent.state = [| 0.; 0. |];
+             action = 7;
+             reward = 0.;
+             next_state = [| 0.; 0. |];
+             next_valid = [];
+           }))
+
+let () =
+  Alcotest.run "ft_qlearn"
+    [
+      ( "agent",
+        [
+          Alcotest.test_case "validity masking" `Quick test_select_respects_validity;
+          Alcotest.test_case "train every 5" `Quick test_training_every_five;
+          Alcotest.test_case "epsilon decay" `Quick test_epsilon_decays;
+          Alcotest.test_case "learns bandit" `Slow test_learns_bandit;
+          Alcotest.test_case "bad action" `Quick test_record_rejects_bad_action;
+        ] );
+    ]

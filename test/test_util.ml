@@ -1,0 +1,166 @@
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_rng_deterministic () =
+  let a = Ft_util.Rng.create 42 and b = Ft_util.Rng.create 42 in
+  for _ = 1 to 100 do
+    check_bool "same stream" true (Ft_util.Rng.next_int64 a = Ft_util.Rng.next_int64 b)
+  done
+
+let test_rng_int_bounds () =
+  let rng = Ft_util.Rng.create 7 in
+  for _ = 1 to 10_000 do
+    let x = Ft_util.Rng.int rng 13 in
+    check_bool "in range" true (x >= 0 && x < 13)
+  done
+
+let test_rng_float_bounds () =
+  let rng = Ft_util.Rng.create 9 in
+  for _ = 1 to 1_000 do
+    let x = Ft_util.Rng.float rng 2.5 in
+    check_bool "in range" true (x >= 0. && x < 2.5)
+  done
+
+let test_rng_split_independent () =
+  let a = Ft_util.Rng.create 5 in
+  let b = Ft_util.Rng.split a in
+  check_bool "different streams" true
+    (Ft_util.Rng.next_int64 a <> Ft_util.Rng.next_int64 b)
+
+let test_rng_invalid () =
+  let rng = Ft_util.Rng.create 1 in
+  Alcotest.check_raises "int 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Ft_util.Rng.int rng 0));
+  Alcotest.check_raises "choose []" (Invalid_argument "Rng.choose: empty list")
+    (fun () -> ignore (Ft_util.Rng.choose rng []))
+
+let test_rng_shuffle_permutation () =
+  let rng = Ft_util.Rng.create 3 in
+  let arr = Array.init 20 Fun.id in
+  Ft_util.Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 20 Fun.id) sorted
+
+let test_divisors () =
+  Alcotest.(check (list int)) "divisors 12" [ 1; 2; 3; 4; 6; 12 ]
+    (Ft_util.Mathx.divisors 12);
+  Alcotest.(check (list int)) "divisors 1" [ 1 ] (Ft_util.Mathx.divisors 1);
+  Alcotest.(check (list int)) "divisors 7" [ 1; 7 ] (Ft_util.Mathx.divisors 7)
+
+let test_prime_factors () =
+  Alcotest.(check (list int)) "360" [ 2; 2; 2; 3; 3; 5 ] (Ft_util.Mathx.prime_factors 360);
+  Alcotest.(check (list int)) "1" [] (Ft_util.Mathx.prime_factors 1);
+  Alcotest.(check (option int)) "spf 1" None (Ft_util.Mathx.smallest_prime_factor 1);
+  Alcotest.(check (option int)) "spf 15" (Some 3) (Ft_util.Mathx.smallest_prime_factor 15)
+
+let test_factorizations () =
+  let fs = Ft_util.Mathx.factorizations 12 2 in
+  check_int "count 12 into 2" 6 (List.length fs);
+  check_int "count 24 into 4" 80 (List.length (Ft_util.Mathx.factorizations 24 4));
+  List.iter
+    (fun f -> check_int "product" 24 (List.fold_left ( * ) 1 f))
+    (Ft_util.Mathx.factorizations 24 4)
+
+let test_count_factorizations_matches_enumeration () =
+  List.iter
+    (fun (n, k) ->
+      check_int
+        (Printf.sprintf "count %d into %d" n k)
+        (List.length (Ft_util.Mathx.factorizations n k))
+        (Ft_util.Mathx.count_factorizations n k))
+    [ (1, 4); (7, 3); (12, 2); (24, 4); (36, 3); (64, 4); (100, 4); (210, 3) ]
+
+let test_misc_math () =
+  check_int "ilog2 1" 0 (Ft_util.Mathx.ilog2 1);
+  check_int "ilog2 1024" 10 (Ft_util.Mathx.ilog2 1024);
+  check_int "pow" 243 (Ft_util.Mathx.pow 3 5);
+  check_int "gcd" 6 (Ft_util.Mathx.gcd 54 24);
+  check_int "ceil_div" 4 (Ft_util.Mathx.ceil_div 10 3);
+  check_int "round_up" 12 (Ft_util.Mathx.round_up_to 10 3);
+  check_int "clamp" 5 (Ft_util.Mathx.clamp 0 5 9);
+  check_int "binomial" 10 (Ft_util.Mathx.binomial 5 2);
+  check_int "permutations" 24 (List.length (Ft_util.Mathx.permutations [ 1; 2; 3; 4 ]))
+
+let test_stats () =
+  check_float "mean" 2.5 (Ft_util.Stats.mean [ 1.; 2.; 3.; 4. ]);
+  check_float "geomean" 2. (Ft_util.Stats.geomean [ 1.; 4. ]);
+  check_float "min" 1. (Ft_util.Stats.minimum [ 3.; 1.; 2. ]);
+  check_float "max" 3. (Ft_util.Stats.maximum [ 3.; 1.; 2. ]);
+  Alcotest.(check (list (float 1e-9))) "normalize" [ 0.5; 1. ]
+    (Ft_util.Stats.normalize_to_max [ 2.; 4. ]);
+  Alcotest.(check (list (float 1e-9))) "ratios" [ 2.; 3. ]
+    (Ft_util.Stats.ratio_list ~num:[ 4.; 9. ] ~den:[ 2.; 3. ])
+
+let test_stats_invalid () =
+  Alcotest.check_raises "geomean empty" (Invalid_argument "Stats.geomean: empty list")
+    (fun () -> ignore (Ft_util.Stats.geomean []));
+  Alcotest.check_raises "geomean nonpositive"
+    (Invalid_argument "Stats.geomean: requires positive values") (fun () ->
+      ignore (Ft_util.Stats.geomean [ 1.; 0. ]))
+
+let test_table_render () =
+  let out = Ft_util.Table.render ~header:[ "a"; "b" ] [ [ "1"; "22" ]; [ "333"; "4" ] ] in
+  check_bool "contains separator" true (String.length out > 0);
+  check_bool "has rows" true (List.length (String.split_on_char '\n' out) = 4);
+  Alcotest.check_raises "ragged" (Invalid_argument "Table.render: ragged row")
+    (fun () -> ignore (Ft_util.Table.render ~header:[ "a" ] [ [ "1"; "2" ] ]))
+
+let test_chart () =
+  let out = Ft_util.Chart.bar_chart ~title:"t" [ ("x", 1.); ("y", 2.) ] in
+  check_bool "bar chart mentions labels" true
+    (String.length out > 10);
+  let out =
+    Ft_util.Chart.series ~title:"s" ~x_label:"time" ~y_label:"perf"
+      [ ("m", [ (0., 1.); (1., 2.) ]) ]
+  in
+  check_bool "series non-empty" true (String.length out > 10)
+
+let qcheck_factor_product =
+  QCheck.Test.make ~name:"factorizations multiply back" ~count:50
+    QCheck.(pair (int_range 1 200) (int_range 1 4))
+    (fun (n, k) ->
+      List.for_all
+        (fun f -> List.fold_left ( * ) 1 f = n)
+        (Ft_util.Mathx.factorizations n k))
+
+let qcheck_divisors_divide =
+  QCheck.Test.make ~name:"divisors divide" ~count:100
+    QCheck.(int_range 1 5000)
+    (fun n -> List.for_all (fun d -> n mod d = 0) (Ft_util.Mathx.divisors n))
+
+let () =
+  Alcotest.run "ft_util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+          Alcotest.test_case "invalid args" `Quick test_rng_invalid;
+          Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutation;
+        ] );
+      ( "mathx",
+        [
+          Alcotest.test_case "divisors" `Quick test_divisors;
+          Alcotest.test_case "prime factors" `Quick test_prime_factors;
+          Alcotest.test_case "factorizations" `Quick test_factorizations;
+          Alcotest.test_case "closed-form count" `Quick
+            test_count_factorizations_matches_enumeration;
+          Alcotest.test_case "misc" `Quick test_misc_math;
+          QCheck_alcotest.to_alcotest qcheck_factor_product;
+          QCheck_alcotest.to_alcotest qcheck_divisors_divide;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "basics" `Quick test_stats;
+          Alcotest.test_case "invalid" `Quick test_stats_invalid;
+        ] );
+      ( "render",
+        [
+          Alcotest.test_case "table" `Quick test_table_render;
+          Alcotest.test_case "chart" `Quick test_chart;
+        ] );
+    ]

@@ -1,0 +1,79 @@
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_yolo_table4 () =
+  check_int "15 distinct layers" 15 (List.length Ft_workloads.Yolo.layers);
+  let c1 = Ft_workloads.Yolo.find "C1" in
+  check_int "C1 in channels" 3 c1.c;
+  check_int "C1 out channels" 64 c1.k;
+  check_int "C1 size" 448 c1.hw;
+  check_int "C1 kernel" 7 c1.kernel;
+  check_int "C1 stride" 2 c1.stride;
+  let c14 = Ft_workloads.Yolo.find "C14" in
+  check_int "C14 stride" 2 c14.stride;
+  let c15 = Ft_workloads.Yolo.find "C15" in
+  check_int "C15 size" 7 c15.hw
+
+let test_yolo_full_network () =
+  check_int "24 conv layers" 24 (List.length Ft_workloads.Yolo.full_network)
+
+let test_yolo_graph_shape () =
+  let graph = Ft_workloads.Yolo.graph (Ft_workloads.Yolo.find "C1") in
+  (* 448 with k7 s2 pad3: (448 + 6 - 7)/2 + 1 = 224 *)
+  Alcotest.(check (list int)) "C1 output" [ 1; 64; 224; 224 ]
+    (Ft_ir.Op.out_shape (Ft_ir.Op.output_op graph))
+
+let test_overfeat () =
+  check_int "5 conv layers" 5 (List.length Ft_workloads.Overfeat.layers);
+  let conv1 = List.hd Ft_workloads.Overfeat.layers in
+  let graph = Ft_workloads.Overfeat.graph conv1 in
+  (* (231 - 11)/4 + 1 = 56 *)
+  Alcotest.(check (list int)) "conv1 output" [ 1; 96; 56; 56 ]
+    (Ft_ir.Op.out_shape (Ft_ir.Op.output_op graph))
+
+(* Table 3's Test Cases column. *)
+let test_suite_case_counts () =
+  let expect =
+    [ ("GMV", 6); ("GMM", 7); ("BIL", 5); ("C1D", 7); ("T1D", 7); ("C2D", 15);
+      ("T2D", 15); ("C3D", 8); ("T3D", 8); ("GRP", 14); ("DEP", 7); ("DIL", 11) ]
+  in
+  List.iter
+    (fun (abbr, n) ->
+      check_int (abbr ^ " case count") n
+        (List.length (Ft_workloads.Suites.find abbr)))
+    expect;
+  check_int "12 benchmarks" 12 (List.length Ft_workloads.Suites.all)
+
+let test_all_cases_validate () =
+  List.iter
+    (fun (abbr, cases) ->
+      List.iter
+        (fun (case : Ft_workloads.Suites.case) ->
+          check_bool
+            (Printf.sprintf "%s/%s validates" abbr case.case_name)
+            true
+            (Result.is_ok (Ft_ir.Op.validate case.graph)))
+        cases)
+    Ft_workloads.Suites.all
+
+let test_unknown_suite () =
+  Alcotest.check_raises "unknown" (Invalid_argument "Suites.find: unknown operator XXX")
+    (fun () -> ignore (Ft_workloads.Suites.find "XXX"))
+
+let () =
+  Alcotest.run "ft_workloads"
+    [
+      ( "yolo",
+        [
+          Alcotest.test_case "table 4" `Quick test_yolo_table4;
+          Alcotest.test_case "full network" `Quick test_yolo_full_network;
+          Alcotest.test_case "graph shapes" `Quick test_yolo_graph_shape;
+        ] );
+      ("overfeat", [ Alcotest.test_case "layers" `Quick test_overfeat ]);
+      ( "suites",
+        [
+          Alcotest.test_case "case counts" `Quick test_suite_case_counts;
+          Alcotest.test_case "all validate" `Quick test_all_cases_validate;
+          Alcotest.test_case "unknown" `Quick test_unknown_suite;
+        ] );
+    ]
