@@ -3,7 +3,10 @@ open Toolkit
 
 (* Bechamel micro-benchmarks of the framework's hot paths: one
    Test.make per component that the search loop exercises per
-   evaluation. *)
+   evaluation — plus a wall-clock comparison of batched (domain-pool)
+   vs sequential candidate evaluation.  Results are printed and also
+   written to BENCH_micro.json so the perf trajectory is tracked
+   across PRs. *)
 
 let conv_space =
   Ft_schedule.Space.make
@@ -35,6 +38,133 @@ let tests () =
       (Staged.stage (fun () -> Ft_schedule.Config.key cfg));
   ]
 
+(* Batched evaluation throughput on the C8 space: the same distinct
+   candidate list pushed through [Evaluator.measure_batch] at several
+   pool sizes.  The search results are identical by construction (see
+   test_par); only evaluations/second moves. *)
+
+let throughput_candidates = 8192
+let throughput_batch = 512
+
+let distinct_configs n =
+  let rng = Ft_util.Rng.create 11 in
+  let seen = Hashtbl.create n in
+  let rec go acc k =
+    if k = 0 then List.rev acc
+    else
+      let cfg = Ft_schedule.Space.random_config rng conv_space in
+      let key = Ft_schedule.Config.key cfg in
+      if Hashtbl.mem seen key then go acc k
+      else begin
+        Hashtbl.add seen key ();
+        go (cfg :: acc) (k - 1)
+      end
+  in
+  go [] n
+
+let rec batches_of k = function
+  | [] -> []
+  | xs ->
+      let rec take n acc = function
+        | rest when n = 0 -> (List.rev acc, rest)
+        | [] -> (List.rev acc, [])
+        | x :: rest -> take (n - 1) (x :: acc) rest
+      in
+      let batch, rest = take k [] xs in
+      batch :: batches_of k rest
+
+let batched_evals_per_sec pool cfgs =
+  let evaluator = Ft_explore.Evaluator.create ~pool conv_space in
+  let batches = batches_of throughput_batch cfgs in
+  let t0 = Unix.gettimeofday () in
+  List.iter (fun batch -> ignore (Ft_explore.Evaluator.measure_batch evaluator batch)) batches;
+  let dt = Unix.gettimeofday () -. t0 in
+  float_of_int (Ft_explore.Evaluator.n_evals evaluator) /. dt
+
+let sequential_evals_per_sec cfgs =
+  let evaluator = Ft_explore.Evaluator.create conv_space in
+  let t0 = Unix.gettimeofday () in
+  List.iter (fun cfg -> ignore (Ft_explore.Evaluator.measure evaluator cfg)) cfgs;
+  let dt = Unix.gettimeofday () -. t0 in
+  float_of_int (Ft_explore.Evaluator.n_evals evaluator) /. dt
+
+(* Evaluations per *simulated* second: the paper's multi-device
+   measurement (Fig 6d/7) — with [n_parallel] devices, each wave of
+   fresh points charges the exploration clock max-over-lanes, so
+   measurement throughput scales with the device count regardless of
+   the host's core count. *)
+let simulated_evals_per_sec n_parallel cfgs =
+  let evaluator = Ft_explore.Evaluator.create ~n_parallel conv_space in
+  List.iter
+    (fun batch -> ignore (Ft_explore.Evaluator.measure_batch evaluator batch))
+    (batches_of throughput_batch cfgs);
+  float_of_int (Ft_explore.Evaluator.n_evals evaluator)
+  /. Ft_explore.Evaluator.clock evaluator
+
+let measure_throughput () =
+  let cfgs = distinct_configs throughput_candidates in
+  (* warm-up: fault in the code paths so -j 1 isn't charged for them *)
+  ignore (sequential_evals_per_sec (List.filteri (fun i _ -> i < 256) cfgs));
+  let sequential = sequential_evals_per_sec cfgs in
+  let wall =
+    List.map
+      (fun jobs ->
+        let pool = Ft_par.Pool.create jobs in
+        let rate = batched_evals_per_sec pool cfgs in
+        Ft_par.Pool.shutdown pool;
+        (jobs, rate))
+      (List.sort_uniq compare [ 1; 2; 4; Ft_par.Pool.default_jobs () ])
+  in
+  let simulated = List.map (fun n -> (n, simulated_evals_per_sec n cfgs)) [ 1; 4 ] in
+  (sequential, wall, simulated)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_json ~ns_rows ~sequential ~wall ~simulated path =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  let obj ?(indent = "    ") fmt_value kv_list =
+    List.iteri
+      (fun i (k, v) ->
+        out "%s\"%s\": " indent (json_escape k);
+        fmt_value v;
+        out "%s\n" (if i < List.length kv_list - 1 then "," else ""))
+      kv_list
+  in
+  out "{\n  \"space\": \"yolo C8 on v100\",\n  \"cores\": %d,\n"
+    (Domain.recommended_domain_count ());
+  out "  \"ns_per_call\": {\n";
+  obj (out "%s") ns_rows;
+  out "  },\n  \"batched_eval\": {\n    \"candidates\": %d,\n    \"batch\": %d,\n"
+    throughput_candidates throughput_batch;
+  out "    \"sequential_evals_per_sec\": %.1f,\n" sequential;
+  out "    \"wall_clock_evals_per_sec\": {\n";
+  obj ~indent:"      " (out "%.1f")
+    (List.map (fun (jobs, rate) -> (Printf.sprintf "j%d" jobs, rate)) wall);
+  out "    },\n";
+  let base = List.assoc 1 wall in
+  out "    \"wall_clock_speedup_vs_j1\": {\n";
+  obj ~indent:"      " (out "%.2f")
+    (List.map (fun (jobs, rate) -> (Printf.sprintf "j%d" jobs, rate /. base)) wall);
+  out "    },\n";
+  out "    \"simulated_evals_per_sim_sec\": {\n";
+  obj ~indent:"      " (out "%.1f")
+    (List.map (fun (n, rate) -> (Printf.sprintf "n_parallel_%d" n, rate)) simulated);
+  out "    },\n";
+  let sim_base = List.assoc 1 simulated in
+  out "    \"simulated_speedup_n_parallel_4\": %.2f\n"
+    (List.assoc 4 simulated /. sim_base);
+  out "  }\n}\n";
+  close_out oc
+
 let run () =
   Bench_common.section "Micro-benchmarks (bechamel, ns per call)";
   let instance = Instance.monotonic_clock in
@@ -53,6 +183,29 @@ let run () =
           rows := (name, Printf.sprintf "%.0f" estimate) :: !rows
       | _ -> ())
     results;
+  let ns_rows = List.sort compare !rows in
   Ft_util.Table.print ~header:[ "hot path"; "ns/call" ]
-    (List.map (fun (a, b) -> [ a; b ])
-       (List.sort compare !rows))
+    (List.map (fun (a, b) -> [ a; b ]) ns_rows);
+  Bench_common.subsection "batched evaluation throughput (C8 space)";
+  let sequential, wall, simulated = measure_throughput () in
+  let base = List.assoc 1 wall in
+  Ft_util.Table.print ~header:[ "path"; "evals/sec"; "speedup vs -j 1" ]
+    (( [ "sequential"; Printf.sprintf "%.0f" sequential;
+         Printf.sprintf "%.2fx" (sequential /. base) ] )
+    :: List.map
+         (fun (jobs, rate) ->
+           [ Printf.sprintf "batched -j %d" jobs;
+             Printf.sprintf "%.0f" rate;
+             Printf.sprintf "%.2fx" (rate /. base) ])
+         wall);
+  if Domain.recommended_domain_count () = 1 then
+    print_endline
+      "  (single-core host: wall-clock parallel speedup is not expected here)";
+  Bench_common.subsection "simulated multi-device measurement (Fig 6d/7 clock)";
+  Ft_util.Table.print ~header:[ "devices"; "evals per simulated sec" ]
+    (List.map
+       (fun (n, rate) ->
+         [ Printf.sprintf "n_parallel %d" n; Printf.sprintf "%.1f" rate ])
+       simulated);
+  write_json ~ns_rows ~sequential ~wall ~simulated "BENCH_micro.json";
+  print_endline "\n[wrote BENCH_micro.json]"

@@ -75,6 +75,31 @@ let seed_arg =
 let trials_arg =
   Arg.(value & opt int 60 & info [ "trials" ] ~docv:"N" ~doc:"Exploration trials")
 
+(* An int >= 1; turns `-j 0` into a usage error instead of an
+   uncaught Invalid_argument from deeper down. *)
+let positive_int =
+  let parse s =
+    match Arg.conv_parser Arg.int s with
+    | Ok n when n >= 1 -> Ok n
+    | Ok _ -> Error (`Msg "expected a positive integer")
+    | Error _ as e -> e
+  in
+  Arg.conv (parse, Arg.conv_printer Arg.int)
+
+let jobs_arg =
+  Arg.(value & opt (some positive_int) None & info [ "j"; "jobs" ] ~docv:"JOBS"
+         ~doc:"Worker domains for batched candidate evaluation (default: \
+               $(b,FT_JOBS) or the runtime's recommended domain count). \
+               Never changes search results, only wall-clock speed.")
+
+let n_parallel_arg =
+  Arg.(value & opt positive_int 1 & info [ "n-parallel" ] ~docv:"N"
+         ~doc:"Simulated measurement devices: the exploration clock charges \
+               batched evaluations max-over-lanes in waves of $(docv) \
+               (1 = the paper's single-device accounting).")
+
+let set_jobs jobs = Option.iter Flextensor.Pool.set_default_jobs jobs
+
 let method_arg =
   let method_conv =
     Arg.enum
@@ -123,10 +148,12 @@ let space_cmd =
     Term.(const run $ op_arg $ dims_arg $ target_arg)
 
 let optimize_cmd =
-  let run op dims target seed trials search =
+  let run op dims target seed trials search jobs n_parallel =
     with_graph op dims (fun graph ->
+        set_jobs jobs;
         let options =
-          { Flextensor.default_options with seed; n_trials = trials; search }
+          { Flextensor.default_options with seed; n_trials = trials; search;
+            n_parallel }
         in
         let report = Flextensor.optimize ~options graph target in
         print_endline (Flextensor.report_summary report);
@@ -136,21 +163,25 @@ let optimize_cmd =
           report.primitives)
   in
   Cmd.v (Cmd.info "optimize" ~doc:"Explore the schedule space and report the best")
-    Term.(const run $ op_arg $ dims_arg $ target_arg $ seed_arg $ trials_arg $ method_arg)
+    Term.(const run $ op_arg $ dims_arg $ target_arg $ seed_arg $ trials_arg
+          $ method_arg $ jobs_arg $ n_parallel_arg)
 
 let schedule_cmd =
-  let run op dims target seed trials =
+  let run op dims target seed trials jobs =
     with_graph op dims (fun graph ->
+        set_jobs jobs;
         let options = { Flextensor.default_options with seed; n_trials = trials } in
         let report = Flextensor.optimize ~options graph target in
         print_string (Flextensor.generated_code report))
   in
   Cmd.v (Cmd.info "schedule" ~doc:"Print the generated loop nest of the best schedule")
-    Term.(const run $ op_arg $ dims_arg $ target_arg $ seed_arg $ trials_arg)
+    Term.(const run $ op_arg $ dims_arg $ target_arg $ seed_arg $ trials_arg
+          $ jobs_arg)
 
 let verify_cmd =
-  let run op dims target seed trials =
+  let run op dims target seed trials jobs =
     with_graph op dims (fun graph ->
+        set_jobs jobs;
         let options = { Flextensor.default_options with seed; n_trials = trials } in
         let report = Flextensor.optimize ~options graph target in
         match Flextensor.verify report with
@@ -163,11 +194,13 @@ let verify_cmd =
     (Cmd.info "verify"
        ~doc:"Optimize, then execute the schedule against the naive reference \
              (use small dims; execution is point by point)")
-    Term.(const run $ op_arg $ dims_arg $ target_arg $ seed_arg $ trials_arg)
+    Term.(const run $ op_arg $ dims_arg $ target_arg $ seed_arg $ trials_arg
+          $ jobs_arg)
 
 let compare_cmd =
-  let run op dims target seed trials =
+  let run op dims target seed trials jobs =
     with_graph op dims (fun graph ->
+        set_jobs jobs;
         let options = { Flextensor.default_options with seed; n_trials = trials } in
         let report = Flextensor.optimize ~options graph target in
         Printf.printf "FlexTensor: %.1f (GFLOPS or GB/s)\n" report.perf_value;
@@ -193,7 +226,8 @@ let compare_cmd =
             Printf.printf "OpenCL baseline: %.1f\n" perf.gflops))
   in
   Cmd.v (Cmd.info "compare" ~doc:"Compare FlexTensor against the platform's library")
-    Term.(const run $ op_arg $ dims_arg $ target_arg $ seed_arg $ trials_arg)
+    Term.(const run $ op_arg $ dims_arg $ target_arg $ seed_arg $ trials_arg
+          $ jobs_arg)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in

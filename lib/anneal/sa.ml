@@ -21,13 +21,18 @@ let weighted_pick rng weighted =
     in
     go 0. weighted
 
+(* Consumes the evaluated set H as-is — (point, performance) pairs —
+   and returns the chosen pairs, so callers never copy H per trial
+   just to re-shape it. *)
 let select rng ~gamma ~count points =
   match points with
   | [] -> []
   | _ ->
       let best = List.fold_left (fun acc (_, value) -> Float.max acc value) 0. points in
       let weighted =
-        List.map (fun (point, value) -> (point, weight ~gamma ~best value)) points
+        List.map
+          (fun ((_, value) as point) -> (point, weight ~gamma ~best value))
+          points
       in
       List.init count (fun _ -> weighted_pick rng weighted)
 

@@ -7,8 +7,11 @@ val weight : gamma:float -> best:float -> float -> float
 
 (** [select rng ~gamma ~count points] draws [count] starting points
     (with replacement) from [(point, performance)] pairs, weighted
-    towards high performers. Empty input yields []. *)
-val select : Ft_util.Rng.t -> gamma:float -> count:int -> ('a * float) list -> 'a list
+    towards high performers; each draw is returned together with its
+    performance. Empty input yields []. *)
+val select :
+  Ft_util.Rng.t -> gamma:float -> count:int -> ('a * float) list ->
+  ('a * float) list
 
 (** Metropolis acceptance of a candidate objective value given the
     current one at a temperature (relative scale). *)

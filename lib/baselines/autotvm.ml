@@ -149,9 +149,12 @@ let training_cost = 2.0
 let scoring_cost_per_candidate = 0.0002
 
 let search ?(seed = 2020) ?(n_rounds = 16) ?(batch = 8) ?(population = 128)
-    ?(template = `Divisor) ?max_evals ?flops_scale ?mode (space : Space.t) =
+    ?(template = `Divisor) ?max_evals ?flops_scale ?mode ?n_parallel ?pool
+    (space : Space.t) =
   let rng = Ft_util.Rng.create seed in
-  let evaluator = Ft_explore.Evaluator.create ?flops_scale ?mode space in
+  let evaluator =
+    Ft_explore.Evaluator.create ?flops_scale ?mode ?n_parallel ?pool space
+  in
   let initial =
     List.init (max 2 batch) (fun _ -> to_config space (random_knobs ~template rng space))
   in
@@ -194,10 +197,12 @@ let search ?(seed = 2020) ?(n_rounds = 16) ?(batch = 8) ?(population = 128)
       List.filter (fun (_, cfg, _) -> not (Ft_explore.Driver.seen state cfg)) ranked
     in
     let chosen = List.filteri (fun i _ -> i < batch) fresh in
-    List.iter
-      (fun (_, cfg, _) ->
-        if not (out_of_budget ()) then ignore (Ft_explore.Driver.evaluate state cfg))
-      chosen;
+    (* The round's measurement batch runs on the domain pool — the
+       AutoTVM workflow the paper compares against measures its
+       per-round candidates concurrently. *)
+    ignore
+      (Ft_explore.Driver.evaluate_batch ~should_stop:out_of_budget state
+         (List.map (fun (_, cfg, _) -> cfg) chosen));
     knob_pool := List.map (fun (knobs, _, _) -> knobs) chosen @ !knob_pool
   done;
   Ft_explore.Driver.finish ~method_name:"AutoTVM" state

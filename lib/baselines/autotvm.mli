@@ -23,5 +23,7 @@ val search :
   ?max_evals:int ->
   ?flops_scale:float ->
   ?mode:Ft_explore.Evaluator.mode ->
+  ?n_parallel:int ->
+  ?pool:Ft_par.Pool.t ->
   Ft_schedule.Space.t ->
   Ft_explore.Driver.result

@@ -18,6 +18,7 @@ module Lowering = Ft_lower.Lowering
 module Pretty = Ft_lower.Pretty
 module Verify = Ft_lower.Verify
 module Driver = Ft_explore.Driver
+module Pool = Ft_par.Pool
 
 type search_method = Q_learning | P_exhaustive | Random_walk
 
@@ -31,6 +32,7 @@ type options = {
   restarts : int;  (* independent searches; the best result wins *)
   search : search_method;
   flops_scale : float;
+  n_parallel : int;  (* simulated measurement devices (clock model) *)
 }
 
 let default_options =
@@ -44,6 +46,7 @@ let default_options =
     restarts = 1;
     search = Q_learning;
     flops_scale = 1.0;
+    n_parallel = 1;
   }
 
 type report = {
@@ -67,19 +70,23 @@ let search_name = function
   | Random_walk -> "random"
 
 let run_one_search options seed space =
+  let n_parallel = options.n_parallel in
   match options.search with
   | Q_learning ->
       Ft_explore.Q_method.search ~seed ~n_trials:options.n_trials
         ~n_starts:options.n_starts ~steps:options.steps ~gamma:options.gamma
-        ?max_evals:options.max_evals ~flops_scale:options.flops_scale space
+        ?max_evals:options.max_evals ~flops_scale:options.flops_scale
+        ~n_parallel space
   | P_exhaustive ->
       Ft_explore.P_method.search ~seed ~n_trials:options.n_trials
         ~n_starts:options.n_starts ~gamma:options.gamma
-        ?max_evals:options.max_evals ~flops_scale:options.flops_scale space
+        ?max_evals:options.max_evals ~flops_scale:options.flops_scale
+        ~n_parallel space
   | Random_walk ->
       Ft_explore.Random_method.search ~seed
         ~n_trials:(options.n_trials * options.n_starts)
-        ?max_evals:options.max_evals ~flops_scale:options.flops_scale space
+        ?max_evals:options.max_evals ~flops_scale:options.flops_scale
+        ~n_parallel space
 
 (* Rugged landscapes reward independent restarts; results are merged by
    keeping the best run and summing the exploration accounting. *)

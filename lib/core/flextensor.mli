@@ -29,6 +29,11 @@ module Pretty = Ft_lower.Pretty
 module Verify = Ft_lower.Verify
 module Driver = Ft_explore.Driver
 
+(** Domain pool used for batched candidate evaluation; size it with
+    [-j] / [FT_JOBS] ({!Ft_par.Pool.set_default_jobs}).  The pool size
+    never changes search results — only wall-clock speed. *)
+module Pool = Ft_par.Pool
+
 type search_method = Q_learning | P_exhaustive | Random_walk
 
 type options = {
@@ -41,6 +46,11 @@ type options = {
   restarts : int;  (** independent searches; the best result wins *)
   search : search_method;
   flops_scale : float;  (** compute-FLOP scale (algorithmic factors) *)
+  n_parallel : int;
+      (** simulated measurement devices: the clock charges batched
+          evaluations max-over-lanes in waves of [n_parallel] (Fig
+          6d/7 exploration-time semantics); 1 = the paper's
+          single-device accounting *)
 }
 
 val default_options : options

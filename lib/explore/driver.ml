@@ -18,7 +18,9 @@ type state = {
   mutable samples : sample list;  (* reverse chronological *)
 }
 
-let visit state cfg = Hashtbl.replace state.visited (Ft_schedule.Config.key cfg) ()
+let visit_key state key = Hashtbl.replace state.visited key ()
+
+let visit state cfg = visit_key state (Ft_schedule.Config.key cfg)
 
 let seen state cfg = Hashtbl.mem state.visited (Ft_schedule.Config.key cfg)
 
@@ -31,14 +33,56 @@ let record_sample state =
     }
     :: state.samples
 
-(* Evaluate a point, fold it into H, update the incumbent. *)
-let evaluate state cfg =
-  let value = Evaluator.measure state.evaluator cfg in
-  visit state cfg;
+(* Fold an already-committed point into H, update the incumbent. *)
+let absorb_keyed state cfg key value =
+  visit_key state key;
   state.evaluated <- (cfg, value) :: state.evaluated;
   if value > snd state.best then state.best <- (cfg, value);
   record_sample state;
   value
+
+let absorb state cfg value =
+  absorb_keyed state cfg (Ft_schedule.Config.key cfg) value
+
+(* Evaluate a point, fold it into H, update the incumbent. *)
+let evaluate state cfg =
+  absorb state cfg (Evaluator.measure state.evaluator cfg)
+
+(* Batched frontier evaluation: the pure cost-model work of the whole
+   candidate list runs on the domain pool, then points are committed
+   strictly in input order — skipping already-visited points and
+   in-batch duplicates, and stopping at the first point for which
+   [should_stop] holds (the search's eval budget) — exactly the
+   decisions the sequential per-point loop would have made.  Returns
+   the committed points with their values, in order. *)
+let evaluate_batch ?(should_stop = fun () -> false) state cfgs =
+  let in_batch = Hashtbl.create 32 in
+  (* Each point's key is built once here and reused for dedup, commit,
+     and the visited set. *)
+  let fresh =
+    List.filter_map
+      (fun cfg ->
+        let key = Ft_schedule.Config.key cfg in
+        if Hashtbl.mem state.visited key || Hashtbl.mem in_batch key then None
+        else begin
+          Hashtbl.add in_batch key ();
+          Some (cfg, key)
+        end)
+      cfgs
+  in
+  let batch = Evaluator.prepare state.evaluator fresh in
+  let committed = ref [] in
+  (try
+     List.iter
+       (fun ((cfg, key) as point) ->
+         if should_stop () then raise Exit;
+         let value = Evaluator.commit state.evaluator batch point in
+         ignore (absorb_keyed state cfg key value);
+         committed := (cfg, value) :: !committed)
+       fresh
+   with Exit -> ());
+  Evaluator.flush state.evaluator batch;
+  List.rev !committed
 
 let init evaluator initial =
   match initial with
@@ -53,7 +97,17 @@ let init evaluator initial =
           samples = [];
         }
       in
-      List.iter (fun cfg -> ignore (evaluate state cfg)) initial;
+      (* Unlike [evaluate_batch], seeding keeps duplicate inputs in H
+         (as cache hits), matching the sequential per-point loop. *)
+      let keyed =
+        List.map (fun cfg -> (cfg, Ft_schedule.Config.key cfg)) initial
+      in
+      let batch = Evaluator.prepare evaluator keyed in
+      List.iter
+        (fun ((cfg, key) as point) ->
+          ignore (absorb_keyed state cfg key (Evaluator.commit evaluator batch point)))
+        keyed;
+      Evaluator.flush evaluator batch;
       state
 
 (* Default H seeding: the naive point, the two generic per-hardware

@@ -28,6 +28,17 @@ val seen : state -> Ft_schedule.Config.t -> bool
 (** Measure a point, add it to H/visited, update the incumbent. *)
 val evaluate : state -> Ft_schedule.Config.t -> float
 
+(** [evaluate_batch state cfgs] measures a candidate frontier: the
+    pure cost-model queries run in parallel on the evaluator's domain
+    pool, then points are committed sequentially in input order —
+    skipping visited points and in-batch duplicates, and stopping as
+    soon as [should_stop ()] holds.  Results are identical to calling
+    {!evaluate} on each unseen point in order, for any pool size.
+    Returns the committed [(config, value)] pairs in order. *)
+val evaluate_batch :
+  ?should_stop:(unit -> bool) -> state -> Ft_schedule.Config.t list ->
+  (Ft_schedule.Config.t * float) list
+
 (** Evaluate the initial points and build the search state. *)
 val init : Evaluator.t -> Ft_schedule.Config.t list -> state
 

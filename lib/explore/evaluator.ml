@@ -4,6 +4,8 @@ type t = {
   space : Ft_schedule.Space.t;
   flops_scale : float;
   mode : mode;
+  n_parallel : int;  (* simulated measurement devices (lanes) *)
+  pool : Ft_par.Pool.t option;  (* None = the process-wide default *)
   cache : (string, float * Ft_hw.Perf.t) Hashtbl.t;
   mutable clock_s : float;
   mutable n_evals : int;
@@ -25,11 +27,13 @@ let failed_compile_cost = 0.1
 let model_query_cost = 0.002
 let cache_hit_cost = 0.0005
 
-let create ?(flops_scale = 1.0) ?mode space =
+let create ?(flops_scale = 1.0) ?mode ?(n_parallel = 1) ?pool space =
+  if n_parallel < 1 then invalid_arg "Evaluator.create: n_parallel must be >= 1";
   let mode =
     match mode with Some m -> m | None -> default_mode space.Ft_schedule.Space.target
   in
-  { space; flops_scale; mode; cache = Hashtbl.create 256; clock_s = 0.; n_evals = 0 }
+  { space; flops_scale; mode; n_parallel; pool;
+    cache = Hashtbl.create 256; clock_s = 0.; n_evals = 0 }
 
 let charge t seconds = t.clock_s <- t.clock_s +. seconds
 
@@ -42,25 +46,114 @@ let measure_cost t (perf : Ft_hw.Perf.t) =
         +. (float_of_int runs_per_measure *. Float.min perf.time_s 1.0)
       else failed_compile_cost
 
-(* Returns the performance value E of a point, charging the simulated
-   clock; repeated queries of the same point hit the cache. *)
-let measure t cfg =
+let compute t cfg =
+  let perf = Ft_hw.Cost.evaluate ~flops_scale:t.flops_scale t.space cfg in
+  (Ft_hw.Cost.perf_value t.space perf, perf)
+
+(* Insert a freshly computed point, charging the clock via [charge_one]
+   so batch commits can model parallel measurement lanes. *)
+let commit_fresh t ~charge_one key ((_, perf) as entry) =
+  Hashtbl.replace t.cache key entry;
+  t.n_evals <- t.n_evals + 1;
+  charge_one (measure_cost t perf);
+  entry
+
+(* Returns both the performance value E and the full model result of a
+   point with a single cache lookup per call; repeated queries of the
+   same point hit the cache. *)
+let measure_full t cfg =
   let key = Ft_schedule.Config.key cfg in
+  match Hashtbl.find_opt t.cache key with
+  | Some entry ->
+      charge t cache_hit_cost;
+      entry
+  | None -> commit_fresh t ~charge_one:(charge t) key (compute t cfg)
+
+let measure t cfg = fst (measure_full t cfg)
+let perf_of t cfg = snd (measure_full t cfg)
+
+(* -- Batched evaluation ---------------------------------------------
+
+   [prepare] runs the pure cost-model queries of a candidate list on
+   the domain pool; [commit] then folds each point into the evaluator
+   sequentially, in whatever order the caller chooses.  Keeping the
+   commit sequential is what makes search results independent of the
+   pool size: cache contents, eval counts, and clock charges are
+   decided by commit order alone.
+
+   The simulated clock models the paper's multi-device measurement:
+   fresh points are grouped into waves of [n_parallel] in commit
+   order, and each wave charges the max measurement cost over its
+   lanes (all devices measure concurrently; the wave takes as long as
+   its slowest lane).  With [n_parallel = 1] every wave is a single
+   point, which reproduces the sequential accounting exactly.  Cache
+   hits charge their (tiny) fixed cost immediately. *)
+
+type batch = {
+  computed : (string, float * Ft_hw.Perf.t) Hashtbl.t;
+  mutable wave_len : int;
+  mutable wave_max : float;
+}
+
+let pool_of t = match t.pool with Some p -> p | None -> Ft_par.Pool.default ()
+
+(* Candidates travel as (config, key) pairs so the expensive
+   [Config.key] is built exactly once per point across the whole
+   prepare/commit cycle. *)
+let prepare t keyed =
+  let fresh = Hashtbl.create 64 in
+  let to_compute =
+    List.filter
+      (fun (_, key) ->
+        if Hashtbl.mem t.cache key || Hashtbl.mem fresh key then false
+        else begin
+          Hashtbl.add fresh key ();
+          true
+        end)
+      keyed
+  in
+  let computed = Hashtbl.create (List.length to_compute) in
+  let entries =
+    match to_compute with
+    | [] | [ _ ] -> List.map (fun (cfg, _) -> compute t cfg) to_compute
+    | _ -> Ft_par.Pool.map (pool_of t) (fun (cfg, _) -> compute t cfg) to_compute
+  in
+  List.iter2
+    (fun (_, key) entry -> Hashtbl.replace computed key entry)
+    to_compute entries;
+  { computed; wave_len = 0; wave_max = 0. }
+
+let flush t batch =
+  if batch.wave_len > 0 then begin
+    charge t batch.wave_max;
+    batch.wave_len <- 0;
+    batch.wave_max <- 0.
+  end
+
+let wave_push t batch cost =
+  batch.wave_len <- batch.wave_len + 1;
+  batch.wave_max <- Float.max batch.wave_max cost;
+  if batch.wave_len >= t.n_parallel then flush t batch
+
+let commit t batch (cfg, key) =
   match Hashtbl.find_opt t.cache key with
   | Some (value, _) ->
       charge t cache_hit_cost;
       value
   | None ->
-      let perf = Ft_hw.Cost.evaluate ~flops_scale:t.flops_scale t.space cfg in
-      let value = Ft_hw.Cost.perf_value t.space perf in
-      Hashtbl.replace t.cache key (value, perf);
-      t.n_evals <- t.n_evals + 1;
-      charge t (measure_cost t perf);
-      value
+      let entry =
+        match Hashtbl.find_opt batch.computed key with
+        | Some entry -> entry
+        | None -> compute t cfg  (* straggler not in the prepared set *)
+      in
+      fst (commit_fresh t ~charge_one:(wave_push t batch) key entry)
 
-let perf_of t cfg =
-  ignore (measure t cfg);
-  snd (Hashtbl.find t.cache (Ft_schedule.Config.key cfg))
+let measure_batch t cfgs =
+  let keyed = List.map (fun cfg -> (cfg, Ft_schedule.Config.key cfg)) cfgs in
+  let batch = prepare t keyed in
+  let out = List.map (fun ((cfg, _) as point) -> (cfg, commit t batch point)) keyed in
+  flush t batch;
+  out
 
 let clock t = t.clock_s
 let n_evals t = t.n_evals

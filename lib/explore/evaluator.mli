@@ -4,7 +4,17 @@
     module also accounts for how long obtaining that value would have
     taken on the paper's setup (real measurement on CPU/GPU, analytical
     model query on FPGA), which is what the exploration-time figures
-    (6d, 7) plot. *)
+    (6d, 7) plot.
+
+    Evaluation is batchable: the pure cost-model queries of a
+    candidate list run in parallel on a {!Ft_par.Pool}, while cache
+    entries, eval counts, and clock charges are committed sequentially
+    in the caller's order — so every search result is bit-for-bit
+    independent of the pool size.  [n_parallel] models the paper's
+    multi-device measurement for the simulated clock only: fresh
+    points are charged in waves of [n_parallel], max cost over the
+    wave (the concurrent devices finish with the slowest lane);
+    [n_parallel = 1] reproduces the sequential accounting exactly. *)
 
 type mode = Hardware_measure | Model_query
 
@@ -12,7 +22,14 @@ type t
 
 val default_mode : Ft_schedule.Target.t -> mode
 
-val create : ?flops_scale:float -> ?mode:mode -> Ft_schedule.Space.t -> t
+(** [create space] builds an evaluator.  [n_parallel] (default 1) is
+    the number of simulated measurement devices the clock assumes;
+    [pool] is the domain pool used for batched evaluation (default:
+    {!Ft_par.Pool.default}).  Raises [Invalid_argument] when
+    [n_parallel < 1]. *)
+val create :
+  ?flops_scale:float -> ?mode:mode -> ?n_parallel:int ->
+  ?pool:Ft_par.Pool.t -> Ft_schedule.Space.t -> t
 
 (** Add search bookkeeping time to the simulated clock. *)
 val charge : t -> float -> unit
@@ -20,8 +37,38 @@ val charge : t -> float -> unit
 (** Performance value E of a point (cached), charging the clock. *)
 val measure : t -> Ft_schedule.Config.t -> float
 
+(** Value and full model result of a point in one cache lookup. *)
+val measure_full : t -> Ft_schedule.Config.t -> float * Ft_hw.Perf.t
+
 (** Full model result for a point (measures it if new). *)
 val perf_of : t -> Ft_schedule.Config.t -> Ft_hw.Perf.t
+
+(** A prepared batch: cost-model results computed in parallel but not
+    yet committed to the cache, eval count, or clock. *)
+type batch
+
+(** [prepare t keyed] computes the uncached points of [keyed] on the
+    pool (deduplicating within the batch).  Points travel as
+    [(config, Config.key config)] pairs so each key is built once
+    across the whole batch.  Pure with respect to the evaluator: no
+    cache, count, or clock change until [commit]. *)
+val prepare : t -> (Ft_schedule.Config.t * string) list -> batch
+
+(** [commit t batch (cfg, key)] folds one point into the evaluator:
+    cache hits charge the cache cost; fresh points (looked up in
+    [batch], or computed inline when absent) enter the cache, count as
+    an eval, and charge the clock in waves of [n_parallel].  Call
+    {!flush} after the last commit of a batch. *)
+val commit : t -> batch -> Ft_schedule.Config.t * string -> float
+
+(** Charge any partially filled final wave of a batch. *)
+val flush : t -> batch -> unit
+
+(** [measure_batch t cfgs] = prepare, commit every point in input
+    order, flush — returning each input config with its value.
+    Duplicates after their first occurrence behave as cache hits. *)
+val measure_batch :
+  t -> Ft_schedule.Config.t list -> (Ft_schedule.Config.t * float) list
 
 (** Simulated seconds elapsed. *)
 val clock : t -> float

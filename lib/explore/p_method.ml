@@ -1,11 +1,16 @@
 (* The exhaustive-direction variant of §6.5: same annealing starting
    points as the Q-method, but every valid direction of every starting
-   point is measured each trial — no learned guidance. *)
+   point is measured each trial — no learned guidance.  Each trial's
+   frontier (all neighbors of all starting points) is batch-evaluated:
+   the cost-model queries run on the domain pool while commits stay in
+   the sequential visit order, so results match the point-by-point
+   loop for any [-j]. *)
 
 let search ?(seed = 2020) ?(n_trials = 60) ?(n_starts = 4) ?(gamma = 2.0)
-    ?(explore_prob = 0.15) ?max_evals ?(heuristic_seeds = true) ?flops_scale ?mode space =
+    ?(explore_prob = 0.15) ?max_evals ?(heuristic_seeds = true) ?flops_scale
+    ?mode ?n_parallel ?pool space =
   let rng = Ft_util.Rng.create seed in
-  let evaluator = Evaluator.create ?flops_scale ?mode space in
+  let evaluator = Evaluator.create ?flops_scale ?mode ?n_parallel ?pool space in
   let state = Driver.init evaluator (Driver.seed_points ~heuristics:heuristic_seeds rng space 4) in
   let out_of_budget () =
     match max_evals with
@@ -19,17 +24,13 @@ let search ?(seed = 2020) ?(n_trials = 60) ?(n_starts = 4) ?(gamma = 2.0)
       let cfg = Ft_schedule.Space.random_config rng space in
       if not (Driver.seen state cfg) then ignore (Driver.evaluate state cfg)
     end;
-    let starts =
-      Ft_anneal.Sa.select rng ~gamma ~count:n_starts
-        (List.map (fun point -> (point, snd point)) state.evaluated)
+    let starts = Ft_anneal.Sa.select rng ~gamma ~count:n_starts state.evaluated in
+    let frontier =
+      List.concat_map
+        (fun (cfg, _) ->
+          List.map snd (Ft_schedule.Neighborhood.neighbors space cfg))
+        starts
     in
-    List.iter
-      (fun (cfg, _) ->
-        List.iter
-          (fun (_, next) ->
-            if not (Driver.seen state next || out_of_budget ()) then
-              ignore (Driver.evaluate state next))
-          (Ft_schedule.Neighborhood.neighbors space cfg))
-      starts
+    ignore (Driver.evaluate_batch ~should_stop:out_of_budget state frontier)
   done;
   Driver.finish ~method_name:"P-method" state

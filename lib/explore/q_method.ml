@@ -1,7 +1,15 @@
 (* The paper's full back-end (§5.1): simulated annealing chooses which
    evaluated points to expand, and the Q-network chooses the single
    direction to move from each — one measurement per starting point per
-   trial. *)
+   trial.
+
+   The [n_starts] walks of a trial advance in lockstep so that each
+   step's proposals form a batch (the paper measures candidate
+   schedules concurrently across devices): every live walk picks a
+   direction in walk order, the proposed points are batch-evaluated on
+   the domain pool, then the agent records every transition, again in
+   walk order.  All stochastic choices happen in that fixed order, so
+   results are identical for any pool size. *)
 
 let agent_query_cost = 0.001
 let training_round_cost = 0.05
@@ -15,10 +23,17 @@ let valid_actions space state directions cfg =
       | Some _ | None -> None)
     indexed
 
+type walk = {
+  mutable cfg : Ft_schedule.Config.t;
+  mutable value : float;
+  mutable alive : bool;
+}
+
 let search ?(seed = 2020) ?(n_trials = 60) ?(n_starts = 4) ?(steps = 5)
-    ?(gamma = 2.0) ?(explore_prob = 0.15) ?(epsilon = 0.3) ?max_evals ?(heuristic_seeds = true) ?flops_scale ?mode space =
+    ?(gamma = 2.0) ?(explore_prob = 0.15) ?(epsilon = 0.3) ?max_evals
+    ?(heuristic_seeds = true) ?flops_scale ?mode ?n_parallel ?pool space =
   let rng = Ft_util.Rng.create seed in
-  let evaluator = Evaluator.create ?flops_scale ?mode space in
+  let evaluator = Evaluator.create ?flops_scale ?mode ?n_parallel ?pool space in
   let state = Driver.init evaluator (Driver.seed_points ~heuristics:heuristic_seeds rng space 4) in
   let directions = Array.of_list (Ft_schedule.Neighborhood.directions space) in
   let agent =
@@ -32,38 +47,68 @@ let search ?(seed = 2020) ?(n_trials = 60) ?(n_starts = 4) ?(steps = 5)
     | None -> false
   in
   let features = Ft_schedule.Space.features space in
-  let rec walk cfg value step =
-    if step > 0 && not (out_of_budget ()) then
-      let valid = valid_actions space state directions cfg in
-      Evaluator.charge evaluator agent_query_cost;
-      match Ft_qlearn.Agent.select agent ~state:(features cfg) ~valid with
-      | None -> ()
-      | Some action -> (
-          match Ft_schedule.Neighborhood.apply space cfg directions.(action) with
-          | None -> ()
-          | Some next ->
-              let next_value = Driver.evaluate state next in
-              (* Normalized reward (Ee - Ep) / Ep; a zero-performance
-                 start rewards any valid improvement. *)
-              let reward =
-                if value > 0. then (next_value -. value) /. value
-                else if next_value > 0. then 1.
-                else 0.
-              in
-              let next_valid = valid_actions space state directions next in
-              (match
-                 Ft_qlearn.Agent.record agent
-                   {
-                     state = features cfg;
-                     action;
-                     reward;
-                     next_state = features next;
-                     next_valid;
-                   }
-               with
-              | Some _loss -> Evaluator.charge evaluator training_round_cost
-              | None -> ());
-              walk next next_value (step - 1))
+  (* One lockstep step of all live walks: select, batch-measure,
+     learn. *)
+  let step_walks walks =
+    let proposals =
+      List.filter_map
+        (fun w ->
+          if not w.alive then None
+          else begin
+            let valid = valid_actions space state directions w.cfg in
+            Evaluator.charge evaluator agent_query_cost;
+            match Ft_qlearn.Agent.select agent ~state:(features w.cfg) ~valid with
+            | None ->
+                w.alive <- false;
+                None
+            | Some action -> (
+                match Ft_schedule.Neighborhood.apply space w.cfg directions.(action) with
+                | None ->
+                    w.alive <- false;
+                    None
+                | Some next -> Some (w, action, next))
+          end)
+        walks
+    in
+    let committed =
+      Driver.evaluate_batch ~should_stop:out_of_budget state
+        (List.map (fun (_, _, next) -> next) proposals)
+    in
+    let value_of = Hashtbl.create (List.length committed) in
+    List.iter
+      (fun (cfg, value) ->
+        Hashtbl.replace value_of (Ft_schedule.Config.key cfg) value)
+      committed;
+    List.iter
+      (fun (w, action, next) ->
+        match Hashtbl.find_opt value_of (Ft_schedule.Config.key next) with
+        | None ->
+            (* The budget cut the batch short of this proposal. *)
+            w.alive <- false
+        | Some next_value ->
+            (* Normalized reward (Ee - Ep) / Ep; a zero-performance
+               start rewards any valid improvement. *)
+            let reward =
+              if w.value > 0. then (next_value -. w.value) /. w.value
+              else if next_value > 0. then 1.
+              else 0.
+            in
+            let next_valid = valid_actions space state directions next in
+            (match
+               Ft_qlearn.Agent.record agent
+                 {
+                   state = features w.cfg;
+                   action;
+                   reward;
+                   next_state = features next;
+                   next_valid;
+                 }
+             with
+            | Some _loss -> Evaluator.charge evaluator training_round_cost
+            | None -> ());
+            w.cfg <- next;
+            w.value <- next_value)
+      proposals
   in
   let trial = ref 0 in
   while !trial < n_trials && not (out_of_budget ()) do
@@ -74,10 +119,18 @@ let search ?(seed = 2020) ?(n_trials = 60) ?(n_starts = 4) ?(steps = 5)
       let cfg = Ft_schedule.Space.random_config rng space in
       if not (Driver.seen state cfg) then ignore (Driver.evaluate state cfg)
     end;
-    let starts =
-      Ft_anneal.Sa.select rng ~gamma ~count:n_starts
-        (List.map (fun point -> (point, snd point)) state.evaluated)
+    let starts = Ft_anneal.Sa.select rng ~gamma ~count:n_starts state.evaluated in
+    let walks =
+      List.map (fun (cfg, value) -> { cfg; value; alive = true }) starts
     in
-    List.iter (fun (cfg, value) -> walk cfg value steps) starts
+    let step = ref 0 in
+    while
+      !step < steps
+      && (not (out_of_budget ()))
+      && List.exists (fun w -> w.alive) walks
+    do
+      incr step;
+      step_walks walks
+    done
   done;
   Driver.finish ~method_name:"Q-method" state

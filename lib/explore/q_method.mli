@@ -13,5 +13,7 @@ val search :
   ?heuristic_seeds:bool ->
   ?flops_scale:float ->
   ?mode:Evaluator.mode ->
+  ?n_parallel:int ->
+  ?pool:Ft_par.Pool.t ->
   Ft_schedule.Space.t ->
   Driver.result

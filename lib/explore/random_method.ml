@@ -1,9 +1,14 @@
 (* Uniform random sampling of the schedule space — the weakest search,
-   used as the ablation floor for the back-end comparison. *)
+   used as the ablation floor for the back-end comparison.  Trials are
+   drawn in chunks and batch-evaluated; the RNG stream and the
+   committed points are exactly those of the one-at-a-time loop. *)
 
-let search ?(seed = 2020) ?(n_trials = 200) ?max_evals ?(heuristic_seeds = true) ?flops_scale ?mode space =
+let chunk_trials = 32
+
+let search ?(seed = 2020) ?(n_trials = 200) ?max_evals ?(heuristic_seeds = true)
+    ?flops_scale ?mode ?n_parallel ?pool space =
   let rng = Ft_util.Rng.create seed in
-  let evaluator = Evaluator.create ?flops_scale ?mode space in
+  let evaluator = Evaluator.create ?flops_scale ?mode ?n_parallel ?pool space in
   let state = Driver.init evaluator (Driver.seed_points ~heuristics:heuristic_seeds rng space 4) in
   let out_of_budget () =
     match max_evals with
@@ -12,8 +17,11 @@ let search ?(seed = 2020) ?(n_trials = 200) ?max_evals ?(heuristic_seeds = true)
   in
   let trial = ref 0 in
   while !trial < n_trials && not (out_of_budget ()) do
-    incr trial;
-    let cfg = Ft_schedule.Space.random_config rng space in
-    if not (Driver.seen state cfg) then ignore (Driver.evaluate state cfg)
+    let take = min chunk_trials (n_trials - !trial) in
+    trial := !trial + take;
+    let cfgs =
+      List.init take (fun _ -> Ft_schedule.Space.random_config rng space)
+    in
+    ignore (Driver.evaluate_batch ~should_stop:out_of_budget state cfgs)
   done;
   Driver.finish ~method_name:"random" state

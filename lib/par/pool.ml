@@ -1,0 +1,193 @@
+(* A fixed crew of worker domains executing one parallel region at a
+   time.  Work distribution is a shared atomic chunk counter, so lanes
+   self-balance; results land in a per-index slot array, which is what
+   makes [map] order-preserving and lane-count-independent. *)
+
+type t = {
+  jobs : int;  (* lanes, including the calling domain *)
+  mutex : Mutex.t;
+  work_ready : Condition.t;
+  work_done : Condition.t;
+  mutable body : (int -> unit) option;  (* current region, takes lane id *)
+  mutable generation : int;
+  mutable pending : int;  (* workers still inside the current region *)
+  mutable stopped : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let worker pool lane =
+  let seen = ref 0 in
+  let rec loop () =
+    Mutex.lock pool.mutex;
+    while (not pool.stopped) && pool.generation = !seen do
+      Condition.wait pool.work_ready pool.mutex
+    done;
+    if pool.stopped then Mutex.unlock pool.mutex
+    else begin
+      seen := pool.generation;
+      let body = Option.get pool.body in
+      Mutex.unlock pool.mutex;
+      (* Region bodies never raise: [map] captures per-task exceptions
+         into its slot array. *)
+      body lane;
+      Mutex.lock pool.mutex;
+      pool.pending <- pool.pending - 1;
+      if pool.pending = 0 then Condition.broadcast pool.work_done;
+      Mutex.unlock pool.mutex;
+      loop ()
+    end
+  in
+  loop ()
+
+let create jobs =
+  let jobs = max 1 jobs in
+  let pool =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      work_ready = Condition.create ();
+      work_done = Condition.create ();
+      body = None;
+      generation = 0;
+      pending = 0;
+      stopped = false;
+      domains = [];
+    }
+  in
+  pool.domains <-
+    List.init (jobs - 1) (fun i -> Domain.spawn (fun () -> worker pool (i + 1)));
+  pool
+
+let lanes pool = pool.jobs
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  pool.stopped <- true;
+  Condition.broadcast pool.work_ready;
+  Mutex.unlock pool.mutex;
+  List.iter Domain.join pool.domains;
+  pool.domains <- []
+
+(* Run [body] on every lane (the caller is lane 0) and wait for all
+   lanes to finish. *)
+let run pool body =
+  if pool.jobs = 1 then body 0
+  else begin
+    Mutex.lock pool.mutex;
+    if pool.stopped then begin
+      Mutex.unlock pool.mutex;
+      invalid_arg "Pool.run: pool is shut down"
+    end;
+    pool.body <- Some body;
+    pool.pending <- pool.jobs - 1;
+    pool.generation <- pool.generation + 1;
+    Condition.broadcast pool.work_ready;
+    Mutex.unlock pool.mutex;
+    body 0;
+    Mutex.lock pool.mutex;
+    while pool.pending > 0 do
+      Condition.wait pool.work_done pool.mutex
+    done;
+    pool.body <- None;
+    Mutex.unlock pool.mutex
+  end
+
+(* Chunks are contiguous index ranges so each lane touches adjacent
+   slots (cache-friendly) and small enough that lanes rebalance when
+   task costs are skewed. *)
+let chunk_bound n jobs = max 1 (min 32 (n / (jobs * 4)))
+
+let raw_map pool f xs =
+  match xs with
+  | [] -> [||]
+  | _ ->
+      let arr = Array.of_list xs in
+      let n = Array.length arr in
+      let protect i =
+        match f i arr.(i) with
+        | v -> Ok v
+        | exception e -> Error (e, Printexc.get_raw_backtrace ())
+      in
+      let out = Array.make n (Error (Exit, Printexc.get_callstack 0)) in
+      if pool.jobs = 1 || n = 1 then
+        for i = 0 to n - 1 do
+          out.(i) <- protect i
+        done
+      else begin
+        let chunk = chunk_bound n pool.jobs in
+        let n_chunks = (n + chunk - 1) / chunk in
+        let next = Atomic.make 0 in
+        run pool (fun _lane ->
+            let rec grab () =
+              let c = Atomic.fetch_and_add next 1 in
+              if c < n_chunks then begin
+                let lo = c * chunk and hi = min n ((c + 1) * chunk) in
+                for i = lo to hi - 1 do
+                  out.(i) <- protect i
+                done;
+                grab ()
+              end
+            in
+            grab ())
+      end;
+      out
+
+let map pool f xs =
+  let out = raw_map pool (fun _ x -> f x) xs in
+  Array.iter
+    (function Error (e, bt) -> Printexc.raise_with_backtrace e bt | Ok _ -> ())
+    out;
+  List.map (function Ok v -> v | Error _ -> assert false) (Array.to_list out)
+
+let try_map pool f xs =
+  Array.to_list
+    (Array.map
+       (function Ok v -> Ok v | Error (e, _) -> Error e)
+       (raw_map pool (fun _ x -> f x) xs))
+
+let map_seeded pool ~seed f xs =
+  let out = raw_map pool (fun i x -> f (Ft_util.Rng.stream seed i) x) xs in
+  Array.iter
+    (function Error (e, bt) -> Printexc.raise_with_backtrace e bt | Ok _ -> ())
+    out;
+  List.map (function Ok v -> v | Error _ -> assert false) (Array.to_list out)
+
+(* Process-wide default pool: sized by [-j] ([set_default_jobs]), else
+   FT_JOBS, else the runtime's recommendation. *)
+
+let requested_jobs = ref None
+
+let env_jobs () =
+  match Sys.getenv_opt "FT_JOBS" with
+  | None -> None
+  | Some s -> ( match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> Some n
+    | Some _ | None -> None)
+
+let default_jobs () =
+  match !requested_jobs with
+  | Some n -> n
+  | None -> (
+      match env_jobs () with
+      | Some n -> n
+      | None -> max 1 (Domain.recommended_domain_count ()))
+
+let default_pool = ref None
+
+let default () =
+  let jobs = default_jobs () in
+  match !default_pool with
+  | Some pool when pool.jobs = jobs && not pool.stopped -> pool
+  | Some pool ->
+      shutdown pool;
+      let pool = create jobs in
+      default_pool := Some pool;
+      pool
+  | None ->
+      let pool = create jobs in
+      default_pool := Some pool;
+      pool
+
+let set_default_jobs jobs =
+  if jobs < 1 then invalid_arg "Pool.set_default_jobs: jobs must be >= 1";
+  requested_jobs := Some jobs

@@ -1,0 +1,57 @@
+(** Fixed-size domain pool for data-parallel map over pure functions.
+
+    The pool owns [jobs - 1] worker domains; the caller's domain is
+    lane 0 and participates in every map, so [create 1] spawns nothing
+    and runs everything inline.  One map runs at a time per pool
+    (maps must not be nested on the same pool).
+
+    Determinism contract: results are placed by input index, so as
+    long as the mapped function is pure, the output of [map] is
+    independent of the number of lanes and of how chunks land on
+    domains.  Randomized tasks should draw from per-task streams
+    ([map_seeded]) rather than a shared generator. *)
+
+type t
+
+(** [create jobs] builds a pool with [jobs] lanes ([jobs - 1] spawned
+    worker domains).  [jobs] is clamped to at least 1. *)
+val create : int -> t
+
+(** Number of lanes (worker domains + the calling domain). *)
+val lanes : t -> int
+
+(** Stop and join the worker domains.  The pool must not be used
+    afterwards.  Idempotent. *)
+val shutdown : t -> unit
+
+(** Resolved lane count for the process-wide default pool:
+    [set_default_jobs] wins, else the [FT_JOBS] environment variable,
+    else [Domain.recommended_domain_count ()]. *)
+val default_jobs : unit -> int
+
+(** Override the default-pool size (the CLI [-j] flag).  If the
+    default pool already exists with a different size it is shut down
+    and recreated on next use. *)
+val set_default_jobs : int -> unit
+
+(** The process-wide shared pool, created lazily with
+    [default_jobs ()] lanes. *)
+val default : unit -> t
+
+(** [map pool f xs] is [List.map f xs] computed on the pool's lanes in
+    contiguous chunks; the result preserves input order.  If any
+    application of [f] raised, the exception of the smallest-index
+    failing task is re-raised (with its backtrace) after all tasks
+    have finished. *)
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+
+(** Like [map] but captures per-task exceptions instead of
+    re-raising. *)
+val try_map : t -> ('a -> 'b) -> 'a list -> ('b, exn) result list
+
+(** [map_seeded pool ~seed f xs] maps with a deterministic splitmix
+    RNG per task: task [i] receives [Ft_util.Rng.stream seed i], so
+    the output is a pure function of [seed] and [xs] — identical for
+    every pool size. *)
+val map_seeded :
+  t -> seed:int -> (Ft_util.Rng.t -> 'a -> 'b) -> 'a list -> 'b list

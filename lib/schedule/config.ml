@@ -34,21 +34,39 @@ let order_perm id =
     invalid_arg "Config.order_perm: order_id out of range";
   order_perms.(id)
 
+(* Called once per point per search step (visited set, eval cache), so
+   no intermediate strings and no Printf. *)
 let key cfg =
-  let buf = Buffer.create 64 in
+  let buf = Buffer.create 96 in
+  let add_int n =
+    Buffer.add_string buf (string_of_int n)
+  in
   let add_factors factors =
     Array.iter
       (fun parts ->
-        Array.iter (fun f -> Buffer.add_string buf (string_of_int f ^ ".")) parts;
+        Array.iter
+          (fun f ->
+            add_int f;
+            Buffer.add_char buf '.')
+          parts;
         Buffer.add_char buf '/')
       factors
+  in
+  let add_field tag n =
+    Buffer.add_char buf tag;
+    add_int n;
+    Buffer.add_char buf '.'
   in
   add_factors cfg.spatial;
   Buffer.add_char buf '|';
   add_factors cfg.reduce;
-  Buffer.add_string buf
-    (Printf.sprintf "|o%d.u%d.f%d.v%b.i%b.p%d" cfg.order_id cfg.unroll_id
-       cfg.fuse_levels cfg.vectorize cfg.inline cfg.partition_id);
+  Buffer.add_char buf '|';
+  add_field 'o' cfg.order_id;
+  add_field 'u' cfg.unroll_id;
+  add_field 'f' cfg.fuse_levels;
+  add_field 'v' (Bool.to_int cfg.vectorize);
+  add_field 'i' (Bool.to_int cfg.inline);
+  add_field 'p' cfg.partition_id;
   Buffer.contents buf
 
 let equal a b = String.equal (key a) (key b)

@@ -31,6 +31,21 @@ let bool t = Int64.logand (next_int64 t) 1L = 1L
 
 let split t = create (Int64.to_int (next_int64 t))
 
+(* Derive the [i]-th independent stream of a seed without any shared
+   state: jump a fresh generator to position i+1 of the seed's
+   splitmix sequence and mix once more.  Pure in (seed, i), so
+   parallel consumers get identical streams regardless of how tasks
+   are scheduled across domains. *)
+let mix seed i =
+  if i < 0 then invalid_arg "Rng.mix: stream index must be >= 0";
+  let t =
+    { state = Int64.add (Int64.of_int seed)
+        (Int64.mul golden_gamma (Int64.of_int (i + 1))) }
+  in
+  Int64.to_int (next_int64 t)
+
+let stream seed i = create (mix seed i)
+
 let choose t items =
   match items with
   | [] -> invalid_arg "Rng.choose: empty list"

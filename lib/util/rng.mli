@@ -29,6 +29,15 @@ val bool : t -> bool
 (** [split t] derives a new independent generator, advancing [t]. *)
 val split : t -> t
 
+(** [mix seed i] is a well-distributed seed for the [i]-th parallel
+    stream of [seed] — a pure function of both, for deterministic
+    per-task randomness under any domain count.  Raises
+    [Invalid_argument] when [i < 0]. *)
+val mix : int -> int -> int
+
+(** [stream seed i] is [create (mix seed i)]. *)
+val stream : int -> int -> t
+
 (** Uniform choice. Raises [Invalid_argument] on an empty container. *)
 val choose : t -> 'a list -> 'a
 

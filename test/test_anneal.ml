@@ -11,16 +11,26 @@ let test_weight_properties () =
 
 let test_select_empty_and_count () =
   let rng = Ft_util.Rng.create 1 in
-  Alcotest.(check (list int)) "empty" []
-    (Ft_anneal.Sa.select rng ~gamma:2. ~count:3 []);
+  Alcotest.(check int) "empty" 0
+    (List.length (Ft_anneal.Sa.select rng ~gamma:2. ~count:3 []));
   Alcotest.(check int) "count" 5
     (List.length (Ft_anneal.Sa.select rng ~gamma:2. ~count:5 [ ("a", 1.) ]))
+
+let test_select_returns_point_with_value () =
+  let rng = Ft_util.Rng.create 1 in
+  List.iter
+    (fun (point, value) ->
+      check_bool "pair intact" true
+        ((point = "a" && value = 1.) || (point = "b" && value = 2.)))
+    (Ft_anneal.Sa.select rng ~gamma:2. ~count:10 [ ("a", 1.); ("b", 2.) ])
 
 let test_select_prefers_good_points () =
   let rng = Ft_util.Rng.create 42 in
   let points = [ ("bad", 1.); ("good", 10.) ] in
   let picks = Ft_anneal.Sa.select rng ~gamma:4. ~count:2000 points in
-  let good = List.length (List.filter (String.equal "good") picks) in
+  let good =
+    List.length (List.filter (fun (p, _) -> String.equal "good" p) picks)
+  in
   check_bool "good dominates" true (good > 1800)
 
 let test_gamma_controls_selectivity () =
@@ -29,7 +39,7 @@ let test_gamma_controls_selectivity () =
     let picks =
       Ft_anneal.Sa.select rng ~gamma ~count:2000 [ ("bad", 5.); ("good", 10.) ]
     in
-    List.length (List.filter (String.equal "good") picks)
+    List.length (List.filter (fun (p, _) -> String.equal "good" p) picks)
   in
   check_bool "higher gamma is greedier" true (count_good 8. > count_good 0.5)
 
@@ -54,6 +64,8 @@ let () =
         [
           Alcotest.test_case "weights" `Quick test_weight_properties;
           Alcotest.test_case "select basics" `Quick test_select_empty_and_count;
+          Alcotest.test_case "select keeps values" `Quick
+            test_select_returns_point_with_value;
           Alcotest.test_case "prefers good" `Quick test_select_prefers_good_points;
           Alcotest.test_case "gamma selectivity" `Quick test_gamma_controls_selectivity;
           Alcotest.test_case "metropolis accept" `Quick test_accept;
