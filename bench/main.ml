@@ -25,7 +25,10 @@ let experiments =
 let () =
   (* [-j N] sizes the shared domain pool for batched evaluation
      (default: FT_JOBS or the runtime's recommendation); remaining
-     arguments select experiments. *)
+     arguments select experiments.  FT_TRACE turns on telemetry for the
+     whole bench run. *)
+  Ft_obs.Trace.init_from_env ();
+  at_exit Ft_obs.Trace.close;
   let usage () =
     Printf.eprintf "usage: bench [-j JOBS] [experiment ...]\n";
     exit 1

@@ -100,6 +100,37 @@ let n_parallel_arg =
 
 let set_jobs jobs = Option.iter Flextensor.Pool.set_default_jobs jobs
 
+let trace_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Write a JSONL telemetry trace of the search to $(docv) \
+               (spans, counters, events; see DESIGN.md §8).  Tracing \
+               never changes search results.  $(b,FT_TRACE) is honoured \
+               when this flag is absent.")
+
+(* Trace setup for a command run: --trace wins, FT_TRACE is the
+   fallback, otherwise tracing stays off (the zero-cost path). *)
+let set_trace trace =
+  match trace with
+  | Some path -> Flextensor.Trace.enable_jsonl path
+  | None -> Flextensor.Trace.init_from_env ()
+
+(* On a traced run, print the accumulated counters and gauges as a
+   summary table before closing the sink. *)
+let finish_trace () =
+  if Flextensor.Trace.active () then begin
+    let rows =
+      List.map (fun (name, n) -> [ name; string_of_int n ])
+        (Flextensor.Trace.counters ())
+      @ List.map (fun (name, v) -> [ name; Printf.sprintf "%g" v ])
+          (Flextensor.Trace.gauges ())
+    in
+    if rows <> [] then begin
+      print_newline ();
+      Ft_util.Table.print ~header:[ "telemetry"; "value" ] rows
+    end
+  end;
+  Flextensor.Trace.close ()
+
 let method_arg =
   let method_conv =
     Arg.enum
@@ -148,23 +179,34 @@ let space_cmd =
     Term.(const run $ op_arg $ dims_arg $ target_arg)
 
 let optimize_cmd =
-  let run op dims target seed trials search jobs n_parallel =
+  let run op dims target seed trials search jobs n_parallel trace =
     with_graph op dims (fun graph ->
         set_jobs jobs;
+        set_trace trace;
         let options =
           { Flextensor.default_options with seed; n_trials = trials; search;
             n_parallel }
         in
-        let report = Flextensor.optimize ~options graph target in
+        let report =
+          Flextensor.Trace.with_span "run"
+            ~fields:
+              [ ("op", Str op);
+                ("target", Str (Flextensor.Target.name target));
+                ("method", Str (Flextensor.search_name search));
+                ("seed", Int seed);
+                ("trials", Int trials) ]
+            (fun () -> Flextensor.optimize ~options graph target)
+        in
         print_endline (Flextensor.report_summary report);
         print_endline "\nschedule primitives:";
         List.iter
           (fun prim -> Printf.printf "  %s\n" (Flextensor.Primitive.to_string prim))
-          report.primitives)
+          report.primitives;
+        finish_trace ())
   in
   Cmd.v (Cmd.info "optimize" ~doc:"Explore the schedule space and report the best")
     Term.(const run $ op_arg $ dims_arg $ target_arg $ seed_arg $ trials_arg
-          $ method_arg $ jobs_arg $ n_parallel_arg)
+          $ method_arg $ jobs_arg $ n_parallel_arg $ trace_arg)
 
 let schedule_cmd =
   let run op dims target seed trials jobs =
@@ -230,6 +272,11 @@ let compare_cmd =
           $ jobs_arg)
 
 let () =
+  (* FT_TRACE covers commands without a --trace flag; [close] is
+     idempotent, so a traced optimize run closing its own sink first is
+     fine. *)
+  Flextensor.Trace.init_from_env ();
+  at_exit Flextensor.Trace.close;
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit
     (Cmd.eval

@@ -7,19 +7,28 @@
 let weight ~gamma ~best value =
   if best <= 0. then 1. else exp (-.gamma *. (best -. value) /. best)
 
+(* The point whose cumulative-weight interval [cum_before, cum_after)
+   contains [threshold].  The comparison must be strict ([acc >
+   threshold]): with [acc >= threshold], a leading zero-weight point
+   (cumulative weight still 0) would be selected whenever the draw
+   lands exactly on 0.  Under strict comparison a zero-weight point
+   spans an empty interval and is unreachable as long as any weight is
+   positive; the last element remains the fallback for
+   [threshold >= total] (floating-point summation slack). *)
+let pick_at ~threshold weighted =
+  let rec go acc = function
+    | [] -> invalid_arg "Sa.pick_at: empty"
+    | [ (point, _) ] -> point
+    | (point, w) :: rest ->
+        let acc = acc +. w in
+        if acc > threshold then point else go acc rest
+  in
+  go 0. weighted
+
 let weighted_pick rng weighted =
   let total = List.fold_left (fun acc (_, w) -> acc +. w) 0. weighted in
   if total <= 0. then fst (Ft_util.Rng.choose rng weighted)
-  else
-    let threshold = Ft_util.Rng.float rng total in
-    let rec go acc = function
-      | [] -> invalid_arg "Sa.weighted_pick: empty"
-      | [ (point, _) ] -> point
-      | (point, w) :: rest ->
-          let acc = acc +. w in
-          if acc >= threshold then point else go acc rest
-    in
-    go 0. weighted
+  else pick_at ~threshold:(Ft_util.Rng.float rng total) weighted
 
 (* Consumes the evaluated set H as-is — (point, performance) pairs —
    and returns the chosen pairs, so callers never copy H per trial
@@ -28,7 +37,13 @@ let select rng ~gamma ~count points =
   match points with
   | [] -> []
   | _ ->
-      let best = List.fold_left (fun acc (_, value) -> Float.max acc value) 0. points in
+      (* Fold from neg_infinity so [best] is the true maximum of H even
+         when every value is <= 0 (a fold from 0. would fabricate a
+         best of 0. that no point achieved).  [weight] treats a
+         non-positive best as degenerate and weighs uniformly. *)
+      let best =
+        List.fold_left (fun acc (_, value) -> Float.max acc value) neg_infinity points
+      in
       let weighted =
         List.map
           (fun ((_, value) as point) -> (point, weight ~gamma ~best value))

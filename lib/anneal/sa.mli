@@ -5,6 +5,18 @@
 (** Selection weight exp(-gamma . (best - value) / best). *)
 val weight : gamma:float -> best:float -> float -> float
 
+(** [pick_at ~threshold weighted] is the point whose cumulative-weight
+    interval contains [threshold] (strict comparison, so zero-weight
+    points are unreachable while any weight is positive); the last
+    element is the fallback for [threshold >= total].  Exposed for
+    testing — use {!weighted_pick} for random draws. *)
+val pick_at : threshold:float -> ('a * float) list -> 'a
+
+(** [weighted_pick rng weighted] draws a point with probability
+    proportional to its weight; uniform when the total weight is not
+    positive. *)
+val weighted_pick : Ft_util.Rng.t -> ('a * float) list -> 'a
+
 (** [select rng ~gamma ~count points] draws [count] starting points
     (with replacement) from [(point, performance)] pairs, weighted
     towards high performers; each draw is returned together with its

@@ -168,41 +168,48 @@ let search ?(seed = 2020) ?(n_rounds = 16) ?(batch = 8) ?(population = 128)
   let round = ref 0 in
   while !round < n_rounds && not (out_of_budget ()) do
     incr round;
-    (* Retrain the cost model on everything measured so far. *)
-    let xs =
-      Array.of_list
-        (List.map (fun (cfg, _) -> Space.features space cfg) state.evaluated)
-    in
-    let ys = Array.of_list (List.map snd state.evaluated) in
-    let model = Ft_gbt.Boost.fit ~rounds:12 ~depth:3 xs ys in
-    Ft_explore.Evaluator.charge evaluator training_cost;
-    (* Annealing proposal: a population of mutations of previous knob
-       settings plus fresh random templates, ranked by the model. *)
-    let proposals =
-      List.init population (fun i ->
-          if i mod 2 = 0 || !knob_pool = [] then random_knobs ~template rng space
-          else mutate ~template rng space (Ft_util.Rng.choose rng !knob_pool))
-    in
-    Ft_explore.Evaluator.charge evaluator
-      (float_of_int population *. scoring_cost_per_candidate);
-    let scored =
-      List.map
-        (fun knobs ->
-          let cfg = to_config space knobs in
-          (knobs, cfg, Ft_gbt.Boost.predict model (Space.features space cfg)))
-        proposals
-    in
-    let ranked = List.sort (fun (_, _, a) (_, _, b) -> compare b a) scored in
-    let fresh =
-      List.filter (fun (_, cfg, _) -> not (Ft_explore.Driver.seen state cfg)) ranked
-    in
-    let chosen = List.filteri (fun i _ -> i < batch) fresh in
-    (* The round's measurement batch runs on the domain pool — the
-       AutoTVM workflow the paper compares against measures its
-       per-round candidates concurrently. *)
-    ignore
-      (Ft_explore.Driver.evaluate_batch ~should_stop:out_of_budget state
-         (List.map (fun (_, cfg, _) -> cfg) chosen));
-    knob_pool := List.map (fun (knobs, _, _) -> knobs) chosen @ !knob_pool
+    Ft_obs.Trace.with_span "trial"
+      ~fields:[ ("method", Str "autotvm"); ("index", Int !round) ]
+      (fun () ->
+        (* Retrain the cost model on everything measured so far. *)
+        let xs =
+          Array.of_list
+            (List.map (fun (cfg, _) -> Space.features space cfg) state.evaluated)
+        in
+        let ys = Array.of_list (List.map snd state.evaluated) in
+        let model = Ft_gbt.Boost.fit ~rounds:12 ~depth:3 xs ys in
+        if Ft_obs.Trace.active () then
+          Ft_obs.Trace.event "gbt.train" [ ("points", Int (Array.length xs)) ];
+        Ft_explore.Evaluator.charge evaluator training_cost;
+        (* Annealing proposal: a population of mutations of previous knob
+           settings plus fresh random templates, ranked by the model. *)
+        let proposals =
+          List.init population (fun i ->
+              if i mod 2 = 0 || !knob_pool = [] then random_knobs ~template rng space
+              else mutate ~template rng space (Ft_util.Rng.choose rng !knob_pool))
+        in
+        Ft_explore.Evaluator.charge evaluator
+          (float_of_int population *. scoring_cost_per_candidate);
+        let scored =
+          List.map
+            (fun knobs ->
+              let cfg = to_config space knobs in
+              (knobs, cfg, Ft_gbt.Boost.predict model (Space.features space cfg)))
+            proposals
+        in
+        let ranked = List.sort (fun (_, _, a) (_, _, b) -> compare b a) scored in
+        let fresh =
+          List.filter
+            (fun (_, cfg, _) -> not (Ft_explore.Driver.seen state cfg))
+            ranked
+        in
+        let chosen = List.filteri (fun i _ -> i < batch) fresh in
+        (* The round's measurement batch runs on the domain pool — the
+           AutoTVM workflow the paper compares against measures its
+           per-round candidates concurrently. *)
+        ignore
+          (Ft_explore.Driver.evaluate_batch ~should_stop:out_of_budget state
+             (List.map (fun (_, cfg, _) -> cfg) chosen));
+        knob_pool := List.map (fun (knobs, _, _) -> knobs) chosen @ !knob_pool)
   done;
   Ft_explore.Driver.finish ~method_name:"AutoTVM" state

@@ -19,6 +19,7 @@ module Pretty = Ft_lower.Pretty
 module Verify = Ft_lower.Verify
 module Driver = Ft_explore.Driver
 module Pool = Ft_par.Pool
+module Trace = Ft_obs.Trace
 
 type search_method = Q_learning | P_exhaustive | Random_walk
 

@@ -34,6 +34,14 @@ module Driver = Ft_explore.Driver
     never changes search results — only wall-clock speed. *)
 module Pool = Ft_par.Pool
 
+(** Search telemetry: spans, counters, gauges and structured events
+    emitted to a JSONL sink ({!Ft_obs.Trace.enable_jsonl}, or
+    [FT_TRACE] via {!Ft_obs.Trace.init_from_env}).  Disabled by
+    default and zero-cost when off; tracing never consumes search RNG
+    or changes evaluation order, so results are bit-for-bit identical
+    with or without it. *)
+module Trace = Ft_obs.Trace
+
 type search_method = Q_learning | P_exhaustive | Random_walk
 
 type options = {

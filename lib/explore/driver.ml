@@ -37,7 +37,17 @@ let record_sample state =
 let absorb_keyed state cfg key value =
   visit_key state key;
   state.evaluated <- (cfg, value) :: state.evaluated;
-  if value > snd state.best then state.best <- (cfg, value);
+  Ft_obs.Trace.incr "driver.commits";
+  if value > snd state.best then begin
+    state.best <- (cfg, value);
+    if Ft_obs.Trace.active () then
+      Ft_obs.Trace.event "driver.incumbent"
+        [
+          ("value", Float value);
+          ("clock_s", Float (Evaluator.clock state.evaluator));
+          ("n_evals", Int (Evaluator.n_evals state.evaluator));
+        ]
+  end;
   record_sample state;
   value
 
@@ -93,22 +103,31 @@ let init evaluator initial =
           evaluator;
           visited = Hashtbl.create 1024;
           evaluated = [];
-          best = (first, 0.);
+          (* Seed the incumbent below every representable value so the
+             first committed point is absorbed unconditionally: a 0.
+             seed would survive any run whose measured values are all
+             <= 0, and [finish] would then report best_value = 0. for
+             a config never measured at that value. *)
+          best = (first, neg_infinity);
           samples = [];
         }
       in
-      (* Unlike [evaluate_batch], seeding keeps duplicate inputs in H
-         (as cache hits), matching the sequential per-point loop. *)
-      let keyed =
-        List.map (fun cfg -> (cfg, Ft_schedule.Config.key cfg)) initial
-      in
-      let batch = Evaluator.prepare evaluator keyed in
-      List.iter
-        (fun ((cfg, key) as point) ->
-          ignore (absorb_keyed state cfg key (Evaluator.commit evaluator batch point)))
-        keyed;
-      Evaluator.flush evaluator batch;
-      state
+      Ft_obs.Trace.with_span "driver.seed"
+        ~fields:[ ("n", Int (List.length initial)) ]
+        (fun () ->
+          (* Unlike [evaluate_batch], seeding keeps duplicate inputs in H
+             (as cache hits), matching the sequential per-point loop. *)
+          let keyed =
+            List.map (fun cfg -> (cfg, Ft_schedule.Config.key cfg)) initial
+          in
+          let batch = Evaluator.prepare evaluator keyed in
+          List.iter
+            (fun ((cfg, key) as point) ->
+              ignore
+                (absorb_keyed state cfg key (Evaluator.commit evaluator batch point)))
+            keyed;
+          Evaluator.flush evaluator batch;
+          state)
 
 (* Default H seeding: the naive point, the two generic per-hardware
    heuristic points (the same knowledge the front-end's pruning bakes
@@ -131,9 +150,16 @@ let finish ~method_name state =
   }
 
 (* Simulated time at which a run first reached [fraction] of its final
-   best value — the "time to similar performance" metric of Fig 6d. *)
+   best value — the "time to similar performance" metric of Fig 6d.
+   For a non-positive final best, [fraction *. best] would sit *above*
+   the best and the threshold would never be reached; dividing instead
+   keeps the intended meaning ("within a factor of 1/fraction of the
+   final best") on both sides of zero. *)
 let time_to_reach result ~fraction =
-  let threshold = fraction *. result.best_value in
+  let threshold =
+    if result.best_value >= 0. then fraction *. result.best_value
+    else result.best_value /. fraction
+  in
   let rec go = function
     | [] -> result.sim_time_s
     | (s : sample) :: rest -> if s.best_value >= threshold then s.at_s else go rest

@@ -25,6 +25,12 @@ type state = {
 val visit : state -> Ft_schedule.Config.t -> unit
 val seen : state -> Ft_schedule.Config.t -> bool
 
+(** [absorb state cfg value] folds an externally measured point into
+    H/visited, updating the incumbent and the timeline, without
+    charging the evaluator — for replaying persisted measurements or
+    custom objectives.  Returns [value]. *)
+val absorb : state -> Ft_schedule.Config.t -> float -> float
+
 (** Measure a point, add it to H/visited, update the incumbent. *)
 val evaluate : state -> Ft_schedule.Config.t -> float
 

@@ -52,10 +52,16 @@ let compute t cfg =
 
 (* Insert a freshly computed point, charging the clock via [charge_one]
    so batch commits can model parallel measurement lanes. *)
-let commit_fresh t ~charge_one key ((_, perf) as entry) =
+let commit_fresh t ~charge_one key ((value, perf) as entry) =
   Hashtbl.replace t.cache key entry;
   t.n_evals <- t.n_evals + 1;
-  charge_one (measure_cost t perf);
+  let cost = measure_cost t perf in
+  charge_one cost;
+  if Ft_obs.Trace.active () then begin
+    Ft_obs.Trace.incr "eval.fresh";
+    Ft_obs.Trace.event "eval.measure"
+      [ ("value", Float value); ("cost_s", Float cost); ("n_evals", Int t.n_evals) ]
+  end;
   entry
 
 (* Returns both the performance value E and the full model result of a
@@ -66,6 +72,7 @@ let measure_full t cfg =
   match Hashtbl.find_opt t.cache key with
   | Some entry ->
       charge t cache_hit_cost;
+      Ft_obs.Trace.incr "eval.cache_hit";
       entry
   | None -> commit_fresh t ~charge_one:(charge t) key (compute t cfg)
 
@@ -121,11 +128,21 @@ let prepare t keyed =
   List.iter2
     (fun (_, key) entry -> Hashtbl.replace computed key entry)
     to_compute entries;
+  if Ft_obs.Trace.active () then
+    Ft_obs.Trace.event "eval.batch"
+      [ ("n", Int (List.length keyed)); ("fresh", Int (List.length to_compute)) ];
   { computed; wave_len = 0; wave_max = 0. }
 
 let flush t batch =
   if batch.wave_len > 0 then begin
     charge t batch.wave_max;
+    if Ft_obs.Trace.active () then
+      Ft_obs.Trace.event "eval.wave"
+        [
+          ("n", Int batch.wave_len);
+          ("cost_s", Float batch.wave_max);
+          ("clock_s", Float t.clock_s);
+        ];
     batch.wave_len <- 0;
     batch.wave_max <- 0.
   end
@@ -139,6 +156,7 @@ let commit t batch (cfg, key) =
   match Hashtbl.find_opt t.cache key with
   | Some (value, _) ->
       charge t cache_hit_cost;
+      Ft_obs.Trace.incr "eval.cache_hit";
       value
   | None ->
       let entry =

@@ -20,17 +20,21 @@ let search ?(seed = 2020) ?(n_trials = 60) ?(n_starts = 4) ?(gamma = 2.0)
   let trial = ref 0 in
   while !trial < n_trials && not (out_of_budget ()) do
     incr trial;
-    if Ft_util.Rng.float rng 1.0 < explore_prob then begin
-      let cfg = Ft_schedule.Space.random_config rng space in
-      if not (Driver.seen state cfg) then ignore (Driver.evaluate state cfg)
-    end;
-    let starts = Ft_anneal.Sa.select rng ~gamma ~count:n_starts state.evaluated in
-    let frontier =
-      List.concat_map
-        (fun (cfg, _) ->
-          List.map snd (Ft_schedule.Neighborhood.neighbors space cfg))
-        starts
-    in
-    ignore (Driver.evaluate_batch ~should_stop:out_of_budget state frontier)
+    Ft_obs.Trace.with_span "trial"
+      ~fields:[ ("method", Str "p"); ("index", Int !trial) ]
+      (fun () ->
+        if Ft_util.Rng.float rng 1.0 < explore_prob then begin
+          let cfg = Ft_schedule.Space.random_config rng space in
+          if not (Driver.seen state cfg) then ignore (Driver.evaluate state cfg)
+        end;
+        let starts = Ft_anneal.Sa.select rng ~gamma ~count:n_starts state.evaluated in
+        Trace_util.sa_starts starts;
+        let frontier =
+          List.concat_map
+            (fun (cfg, _) ->
+              List.map snd (Ft_schedule.Neighborhood.neighbors space cfg))
+            starts
+        in
+        ignore (Driver.evaluate_batch ~should_stop:out_of_budget state frontier))
   done;
   Driver.finish ~method_name:"P-method" state

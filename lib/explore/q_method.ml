@@ -29,6 +29,14 @@ type walk = {
   mutable alive : bool;
 }
 
+(* A walk ends when the agent has no valid direction, its move leaves
+   the space, or the eval budget cuts its proposal from the batch. *)
+let kill walk reason =
+  walk.alive <- false;
+  Ft_obs.Trace.incr "q.walk_death";
+  if Ft_obs.Trace.active () then
+    Ft_obs.Trace.event "q.walk_death" [ ("reason", Str reason) ]
+
 let search ?(seed = 2020) ?(n_trials = 60) ?(n_starts = 4) ?(steps = 5)
     ?(gamma = 2.0) ?(explore_prob = 0.15) ?(epsilon = 0.3) ?max_evals
     ?(heuristic_seeds = true) ?flops_scale ?mode ?n_parallel ?pool space =
@@ -59,12 +67,18 @@ let search ?(seed = 2020) ?(n_trials = 60) ?(n_starts = 4) ?(steps = 5)
             Evaluator.charge evaluator agent_query_cost;
             match Ft_qlearn.Agent.select agent ~state:(features w.cfg) ~valid with
             | None ->
-                w.alive <- false;
+                kill w "no_valid_action";
                 None
             | Some action -> (
+                if Ft_obs.Trace.active () then
+                  Ft_obs.Trace.event "q.action"
+                    [
+                      ("action", Int action);
+                      ("epsilon", Float (Ft_qlearn.Agent.epsilon agent));
+                    ];
                 match Ft_schedule.Neighborhood.apply space w.cfg directions.(action) with
                 | None ->
-                    w.alive <- false;
+                    kill w "move_left_space";
                     None
                 | Some next -> Some (w, action, next))
           end)
@@ -84,7 +98,7 @@ let search ?(seed = 2020) ?(n_trials = 60) ?(n_starts = 4) ?(steps = 5)
         match Hashtbl.find_opt value_of (Ft_schedule.Config.key next) with
         | None ->
             (* The budget cut the batch short of this proposal. *)
-            w.alive <- false
+            kill w "budget_cut"
         | Some next_value ->
             (* Normalized reward (Ee - Ep) / Ep; a zero-performance
                start rewards any valid improvement. *)
@@ -113,24 +127,28 @@ let search ?(seed = 2020) ?(n_trials = 60) ?(n_starts = 4) ?(steps = 5)
   let trial = ref 0 in
   while !trial < n_trials && not (out_of_budget ()) do
     incr trial;
-    (* Occasional uniform sample keeps the annealing pool from
-       collapsing into one basin of the rugged landscape. *)
-    if Ft_util.Rng.float rng 1.0 < explore_prob then begin
-      let cfg = Ft_schedule.Space.random_config rng space in
-      if not (Driver.seen state cfg) then ignore (Driver.evaluate state cfg)
-    end;
-    let starts = Ft_anneal.Sa.select rng ~gamma ~count:n_starts state.evaluated in
-    let walks =
-      List.map (fun (cfg, value) -> { cfg; value; alive = true }) starts
-    in
-    let step = ref 0 in
-    while
-      !step < steps
-      && (not (out_of_budget ()))
-      && List.exists (fun w -> w.alive) walks
-    do
-      incr step;
-      step_walks walks
-    done
+    Ft_obs.Trace.with_span "trial"
+      ~fields:[ ("method", Str "q"); ("index", Int !trial) ]
+      (fun () ->
+        (* Occasional uniform sample keeps the annealing pool from
+           collapsing into one basin of the rugged landscape. *)
+        if Ft_util.Rng.float rng 1.0 < explore_prob then begin
+          let cfg = Ft_schedule.Space.random_config rng space in
+          if not (Driver.seen state cfg) then ignore (Driver.evaluate state cfg)
+        end;
+        let starts = Ft_anneal.Sa.select rng ~gamma ~count:n_starts state.evaluated in
+        Trace_util.sa_starts starts;
+        let walks =
+          List.map (fun (cfg, value) -> { cfg; value; alive = true }) starts
+        in
+        let step = ref 0 in
+        while
+          !step < steps
+          && (not (out_of_budget ()))
+          && List.exists (fun w -> w.alive) walks
+        do
+          incr step;
+          step_walks walks
+        done)
   done;
   Driver.finish ~method_name:"Q-method" state

@@ -18,10 +18,14 @@ let search ?(seed = 2020) ?(n_trials = 200) ?max_evals ?(heuristic_seeds = true)
   let trial = ref 0 in
   while !trial < n_trials && not (out_of_budget ()) do
     let take = min chunk_trials (n_trials - !trial) in
+    let from = !trial + 1 in
     trial := !trial + take;
-    let cfgs =
-      List.init take (fun _ -> Ft_schedule.Space.random_config rng space)
-    in
-    ignore (Driver.evaluate_batch ~should_stop:out_of_budget state cfgs)
+    Ft_obs.Trace.with_span "trial"
+      ~fields:[ ("method", Str "random"); ("index", Int from); ("n", Int take) ]
+      (fun () ->
+        let cfgs =
+          List.init take (fun _ -> Ft_schedule.Space.random_config rng space)
+        in
+        ignore (Driver.evaluate_batch ~should_stop:out_of_budget state cfgs))
   done;
   Driver.finish ~method_name:"random" state

@@ -1,0 +1,16 @@
+(* Shared telemetry helpers for the search methods.  Everything here
+   follows the ft_obs rule: no RNG use, no effect on evaluation
+   order. *)
+
+(* The simulated-annealing starting points chosen for a trial (§5.1):
+   how many, and the selected performance values in draw order. *)
+let sa_starts starts =
+  if Ft_obs.Trace.active () then
+    Ft_obs.Trace.event "sa.starts"
+      [
+        ("n", Int (List.length starts));
+        ( "values",
+          Str
+            (String.concat ","
+               (List.map (fun (_, v) -> Printf.sprintf "%g" v) starts)) );
+      ]

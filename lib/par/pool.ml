@@ -117,7 +117,26 @@ let raw_map pool f xs =
         let chunk = chunk_bound n pool.jobs in
         let n_chunks = (n + chunk - 1) / chunk in
         let next = Atomic.make 0 in
-        run pool (fun _lane ->
+        (* Telemetry: region wall-time as a span, per-lane task counts
+           collected into per-lane slots (no cross-domain emission) and
+           attached to the span end.  Counts depend on OS scheduling —
+           the results in [out] never do. *)
+        let traced = Ft_obs.Trace.active () in
+        let lane_tasks = if traced then Array.make pool.jobs 0 else [||] in
+        let span =
+          if traced then
+            Ft_obs.Trace.span_begin "pool.map"
+              [
+                ("n", Int n);
+                ("chunk", Int chunk);
+                ("chunks", Int n_chunks);
+                ("lanes", Int pool.jobs);
+              ]
+          else 0
+        in
+        Ft_obs.Trace.incr "pool.regions";
+        run pool (fun lane ->
+            let mine = ref 0 in
             let rec grab () =
               let c = Atomic.fetch_and_add next 1 in
               if c < n_chunks then begin
@@ -125,10 +144,20 @@ let raw_map pool f xs =
                 for i = lo to hi - 1 do
                   out.(i) <- protect i
                 done;
+                mine := !mine + (hi - lo);
                 grab ()
               end
             in
-            grab ())
+            grab ();
+            if traced then lane_tasks.(lane) <- !mine);
+        if traced then
+          Ft_obs.Trace.span_end span
+            ~fields:
+              (Array.to_list
+                 (Array.mapi
+                    (fun lane tasks ->
+                      (Printf.sprintf "lane%d" lane, Ft_obs.Trace.Int tasks))
+                    lane_tasks))
       end;
       out
 

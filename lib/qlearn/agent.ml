@@ -94,7 +94,11 @@ let train_batch t =
   done;
   (* The updated parameters become the new backup network Y. *)
   Ft_nn.Network.copy_params ~src:t.online ~dst:t.target;
-  if n > 0 then !total /. float_of_int n else 0.
+  let loss = if n > 0 then !total /. float_of_int n else 0. in
+  if Ft_obs.Trace.active () then
+    Ft_obs.Trace.event "q.train"
+      [ ("loss", Float loss); ("batch", Int n); ("recorded", Int t.recorded) ];
+  loss
 
 let record t transition =
   if transition.action < 0 || transition.action >= t.n_actions then
@@ -104,6 +108,7 @@ let record t transition =
   t.replay_len <- min (t.replay_len + 1) t.replay_cap;
   t.recorded <- t.recorded + 1;
   t.epsilon <- Float.max t.epsilon_min (t.epsilon *. t.epsilon_decay);
+  if Ft_obs.Trace.active () then Ft_obs.Trace.gauge "q.epsilon" t.epsilon;
   if t.recorded mod t.train_every = 0 then Some (train_batch t) else None
 
 let epsilon t = t.epsilon

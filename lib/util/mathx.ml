@@ -70,14 +70,27 @@ let count_factorizations n k =
   in
   List.fold_left (fun acc (_, a) -> acc * binomial (a + k - 1) (k - 1)) 1 groups
 
+(* Remove exactly one occurrence of [x]: filtering all copies would
+   shrink inputs that carry duplicates. *)
+let rec remove_one x = function
+  | [] -> []
+  | y :: rest -> if y = x then rest else y :: remove_one x rest
+
 let rec permutations = function
   | [] -> [ [] ]
   | items ->
+      (* Pivot on each *distinct* element (first-occurrence order), so
+         duplicated inputs yield each distinct permutation once:
+         [2; 2] -> [[2; 2]], not [[2]; [2]] (all copies dropped) nor
+         [[2; 2]; [2; 2]] (one branch per copy). *)
+      let pivots = List.fold_left
+          (fun acc x -> if List.mem x acc then acc else x :: acc)
+          [] items
+      in
       List.concat_map
         (fun x ->
-          let rest = List.filter (fun y -> y <> x) items in
-          List.map (fun perm -> x :: perm) (permutations rest))
-        items
+          List.map (fun perm -> x :: perm) (permutations (remove_one x items)))
+        (List.rev pivots)
 
 let factorial n =
   let rec go acc i = if i <= 1 then acc else go (acc * i) (i - 1) in

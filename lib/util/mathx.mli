@@ -29,7 +29,8 @@ val binomial : int -> int -> int
     schedule-space sizes of 10^12 can be counted without enumeration. *)
 val count_factorizations : int -> int -> int
 
-(** All permutations of a list of distinct elements. *)
+(** All distinct permutations of a list.  Duplicate elements are
+    supported: [permutations [2; 2] = [[2; 2]]]. *)
 val permutations : 'a list -> 'a list list
 
 val factorial : int -> int

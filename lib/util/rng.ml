@@ -15,12 +15,22 @@ let next_int64 t =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
+(* Mask to 62 bits: OCaml ints are 63-bit, so converting a 63-bit
+   value would wrap negative for the top half of the range. *)
+let max_62 = 0x3FFFFFFFFFFFFFFF
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
-  (* Mask to 62 bits: OCaml ints are 63-bit, so converting a 63-bit
-     value would wrap negative for the top half of the range. *)
-  let raw = Int64.to_int (Int64.logand (next_int64 t) 0x3FFFFFFFFFFFFFFFL) in
-  raw mod bound
+  (* Rejection sampling: a plain [raw mod bound] over-weights the
+     first [2^62 mod bound] residues, so draws landing in the biased
+     tail [2^62 - 2^62 mod bound, 2^62) are redrawn.  [tail] is
+     2^62 mod bound computed without representing 2^62 itself. *)
+  let tail = ((max_62 mod bound) + 1) mod bound in
+  let rec draw () =
+    let raw = Int64.to_int (Int64.logand (next_int64 t) 0x3FFFFFFFFFFFFFFFL) in
+    if raw <= max_62 - tail then raw mod bound else draw ()
+  in
+  draw ()
 
 let float t bound =
   if bound <= 0. then invalid_arg "Rng.float: bound must be positive";

@@ -17,8 +17,9 @@ val copy : t -> t
 (** Next raw 64-bit value; primarily exposed for testing. *)
 val next_int64 : t -> int64
 
-(** [int t bound] is uniform in [0, bound). Raises [Invalid_argument]
-    when [bound <= 0]. *)
+(** [int t bound] is uniform in [0, bound) — bias-free via rejection
+    sampling, so a draw may consume more than one raw 64-bit value.
+    Raises [Invalid_argument] when [bound <= 0]. *)
 val int : t -> int -> int
 
 (** [float t bound] is uniform in [0, bound). *)

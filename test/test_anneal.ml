@@ -43,6 +43,47 @@ let test_gamma_controls_selectivity () =
   in
   check_bool "higher gamma is greedier" true (count_good 8. > count_good 0.5)
 
+(* Regression: the scan used `acc >= threshold`, so a zero-weight head
+   could swallow a threshold of exactly 0 — a draw that should land in
+   the first *positive*-weight element. *)
+let test_pick_at_skips_zero_weights () =
+  Alcotest.(check string) "threshold 0 skips a zero-weight head" "a"
+    (Ft_anneal.Sa.pick_at ~threshold:0. [ ("z", 0.); ("a", 1.) ]);
+  Alcotest.(check string) "several zero-weight heads" "a"
+    (Ft_anneal.Sa.pick_at ~threshold:0. [ ("z1", 0.); ("z2", 0.); ("z3", 0.); ("a", 2.) ]);
+  Alcotest.(check string) "mid threshold" "b"
+    (Ft_anneal.Sa.pick_at ~threshold:1.5 [ ("a", 1.); ("b", 1.); ("c", 1.) ]);
+  Alcotest.(check string) "boundary goes to the next element" "b"
+    (Ft_anneal.Sa.pick_at ~threshold:1.0 [ ("a", 1.); ("b", 1.) ]);
+  Alcotest.(check string) "fallback at the total" "b"
+    (Ft_anneal.Sa.pick_at ~threshold:2.0 [ ("a", 1.); ("b", 1.) ])
+
+let test_weighted_pick_never_zero_weight () =
+  let rng = Ft_util.Rng.create 17 in
+  for _ = 1 to 2_000 do
+    let got =
+      Ft_anneal.Sa.weighted_pick rng [ ("dead", 0.); ("alive", 0.3); ("dead2", 0.) ]
+    in
+    check_bool "only positive-weight points" true (String.equal got "alive")
+  done
+
+(* Regression: select's best-value fold used to start at 0., fabricating
+   a phantom best when every real value was below it. *)
+let test_select_all_negative_or_sentinel () =
+  let rng = Ft_util.Rng.create 23 in
+  let picks =
+    Ft_anneal.Sa.select rng ~gamma:2. ~count:50 [ ("a", -3.); ("b", -1.) ]
+  in
+  Alcotest.(check int) "all-negative pool still yields picks" 50
+    (List.length picks);
+  let rng = Ft_util.Rng.create 29 in
+  let picks =
+    Ft_anneal.Sa.select rng ~gamma:2. ~count:5000
+      [ ("unreached", neg_infinity); ("real", 1.) ]
+  in
+  check_bool "never selects an unreached sentinel" true
+    (List.for_all (fun (p, _) -> String.equal p "real") picks)
+
 let test_accept () =
   let rng = Ft_util.Rng.create 3 in
   check_bool "improvement always accepted" true
@@ -68,6 +109,12 @@ let () =
             test_select_returns_point_with_value;
           Alcotest.test_case "prefers good" `Quick test_select_prefers_good_points;
           Alcotest.test_case "gamma selectivity" `Quick test_gamma_controls_selectivity;
+          Alcotest.test_case "pick_at thresholds" `Quick
+            test_pick_at_skips_zero_weights;
+          Alcotest.test_case "weighted_pick zero weights" `Quick
+            test_weighted_pick_never_zero_weight;
+          Alcotest.test_case "select degenerate values" `Quick
+            test_select_all_negative_or_sentinel;
           Alcotest.test_case "metropolis accept" `Quick test_accept;
         ] );
     ]

@@ -118,6 +118,75 @@ let test_epsilon_option_changes_trajectory () =
   check_bool "both find something" true
     (greedy.best_value > 0. && exploratory.best_value > 0.)
 
+(* Regression: Driver.init used to seed the incumbent as (first, 0.),
+   so when every evaluated value was <= 0 the reported best was a
+   fabricated pair never actually measured.  The cost model itself
+   never yields negative values, so inject them through [absorb]. *)
+let test_incumbent_tracks_max_of_history () =
+  let space = gemm_space () in
+  let evaluator = Ft_explore.Evaluator.create space in
+  let state = Ft_explore.Driver.init evaluator [ Space.default_config space ] in
+  let distinct =
+    (* random configs keyed for uniqueness, skipping the seed point *)
+    let rng = Ft_util.Rng.create 99 in
+    let rec gather acc n =
+      if n = 0 then acc
+      else
+        let cfg = Space.random_config rng space in
+        if Ft_explore.Driver.seen state cfg then gather acc n
+        else begin
+          Ft_explore.Driver.visit state cfg;
+          gather (cfg :: acc) (n - 1)
+        end
+    in
+    gather [] 3
+  in
+  (match distinct with
+  | [ a; b; c ] ->
+      ignore (Ft_explore.Driver.absorb state a (-10.));
+      ignore (Ft_explore.Driver.absorb state b (-2.));
+      ignore (Ft_explore.Driver.absorb state c (-7.))
+  | _ -> Alcotest.fail "expected 3 configs");
+  let result = Ft_explore.Driver.finish ~method_name:"test" state in
+  let in_history =
+    List.exists
+      (fun (cfg, value) ->
+        String.equal (Config.key cfg) (Config.key result.best_config)
+        && value = result.best_value)
+      state.evaluated
+  in
+  check_bool "best is a measured pair" true in_history;
+  (* the seed point is valid, so it (value > 0) must beat the injected
+     negatives; the incumbent is the max over H *)
+  Alcotest.(check (float 1e-9)) "incumbent is max of H"
+    (List.fold_left (fun acc (_, v) -> Float.max acc v) neg_infinity
+       state.evaluated)
+    result.best_value
+
+(* Regression: with a negative final best, the old threshold
+   [fraction *. best] was *above* best (e.g. 0.5 * -4 = -2 > -4), so
+   time_to_reach matched the first sample ever taken instead of the
+   first to come within the fraction. *)
+let test_time_to_reach_negative_best () =
+  let space = gemm_space () in
+  let result =
+    {
+      Ft_explore.Driver.method_name = "test";
+      best_config = Space.default_config space;
+      best_value = -4.;
+      best_perf = Ft_hw.Perf.invalid "test";
+      history =
+        [
+          { Ft_explore.Driver.at_s = 1.; n_evals = 1; best_value = -10. };
+          { Ft_explore.Driver.at_s = 2.; n_evals = 2; best_value = -4. };
+        ];
+      n_evals = 2;
+      sim_time_s = 3.;
+    }
+  in
+  Alcotest.(check (float 1e-9)) "waits for the real improvement" 2.
+    (Ft_explore.Driver.time_to_reach result ~fraction:0.5)
+
 let test_driver_rejects_empty_init () =
   let space = gemm_space () in
   let evaluator = Ft_explore.Evaluator.create space in
@@ -144,6 +213,10 @@ let () =
           Alcotest.test_case "eval budget" `Quick test_max_evals_budget;
           Alcotest.test_case "q beats random" `Slow test_q_beats_random_at_equal_budget;
           Alcotest.test_case "time to reach" `Quick test_time_to_reach;
+          Alcotest.test_case "incumbent is max of H" `Quick
+            test_incumbent_tracks_max_of_history;
+          Alcotest.test_case "time to reach, negative best" `Quick
+            test_time_to_reach_negative_best;
           Alcotest.test_case "failed compile cost" `Quick
             test_invalid_configs_charged_failed_compile;
           Alcotest.test_case "cold start" `Quick test_cold_start_option;

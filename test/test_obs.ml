@@ -1,0 +1,293 @@
+(* ft_obs telemetry: span bookkeeping, JSONL rendering, and the
+   instrumentation contract — enabling a trace sink must leave search
+   results bit-for-bit unchanged at any pool size. *)
+
+module Trace = Ft_obs.Trace
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* An in-memory sink capturing records in emission order. *)
+let recording () =
+  let recs = ref [] in
+  let sink = Trace.Sink.make (fun r -> recs := r :: !recs) in
+  (sink, fun () -> List.rev !recs)
+
+(* -- spans ----------------------------------------------------------- *)
+
+let test_span_nesting () =
+  let sink, records = recording () in
+  Trace.enable sink;
+  let outer = Trace.span_begin "outer" [ ("k", Trace.Int 1) ] in
+  let inner = Trace.span_begin "inner" [] in
+  Trace.event "hello" [ ("x", Trace.Str "y") ];
+  Trace.span_end inner;
+  Trace.event "after" [];
+  Trace.span_end outer ~fields:[ ("done", Trace.Bool true) ];
+  Trace.close ();
+  match records () with
+  | [ ob; ib; ev1; ie; ev2; oe ] ->
+      check_string "outer name" "outer" ob.Trace.name;
+      check_bool "outer is top-level" true (ob.Trace.parent = 0);
+      check_int "inner parent is outer" ob.Trace.span ib.Trace.parent;
+      check_int "event parent is inner" ib.Trace.span ev1.Trace.parent;
+      check_bool "inner end carries dur_s" true
+        (List.mem_assoc "dur_s" ie.Trace.fields);
+      check_int "post-inner event parent is outer" ob.Trace.span ev2.Trace.parent;
+      check_bool "outer end keeps extra fields" true
+        (List.mem_assoc "done" oe.Trace.fields);
+      check_bool "outer end carries dur_s" true
+        (List.mem_assoc "dur_s" oe.Trace.fields)
+  | records -> Alcotest.failf "expected 6 records, got %d" (List.length records)
+
+exception Boom
+
+let test_with_span () =
+  let sink, records = recording () in
+  Trace.enable sink;
+  let got = Trace.with_span "ok" (fun () -> 41 + 1) in
+  check_int "with_span returns the body's value" 42 got;
+  (match Trace.with_span "burns" (fun () -> raise Boom) with
+  | () -> Alcotest.fail "expected Boom to escape"
+  | exception Boom -> ());
+  Trace.event "top" [];
+  Trace.close ();
+  let ends =
+    List.filter (fun (r : Trace.record) -> r.kind = Trace.Span_end) (records ())
+  in
+  check_int "both spans ended (even on exception)" 2 (List.length ends);
+  let top =
+    List.find (fun (r : Trace.record) -> r.name = "top") (records ())
+  in
+  check_int "stack unwound after the exception" 0 top.Trace.parent
+
+(* -- counters and gauges --------------------------------------------- *)
+
+let test_counters_and_gauges () =
+  let sink, records = recording () in
+  Trace.enable sink;
+  Trace.incr "a";
+  Trace.incr "a" ~by:4;
+  Trace.incr "b";
+  Trace.gauge "g" 1.5;
+  Trace.gauge "g" 2.5;
+  Alcotest.(check (list (pair string int)))
+    "counter snapshot" [ ("a", 5); ("b", 1) ] (Trace.counters ());
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "gauge snapshot keeps the last value" [ ("g", 2.5) ] (Trace.gauges ());
+  Trace.close ();
+  let summary =
+    List.filter
+      (fun (r : Trace.record) -> r.kind = Trace.Counter || r.kind = Trace.Gauge)
+      (records ())
+  in
+  (* two live gauge records + 2 counter summaries + 1 gauge summary *)
+  check_int "close flushes counter/gauge summaries" 5 (List.length summary);
+  let counter_a =
+    List.find
+      (fun (r : Trace.record) -> r.kind = Trace.Counter && r.name = "a")
+      summary
+  in
+  check_bool "counter summary carries the total" true
+    (List.assoc "n" counter_a.Trace.fields = Trace.Int 5)
+
+let test_disabled_is_noop () =
+  Trace.close ();
+  check_bool "disabled by default / after close" false (Trace.active ());
+  check_int "span_begin yields the null id" 0 (Trace.span_begin "x" []);
+  Trace.span_end 0;
+  Trace.event "x" [];
+  Trace.incr "x";
+  Trace.gauge "x" 1.;
+  check_int "with_span still runs the body" 7 (Trace.with_span "x" (fun () -> 7))
+
+(* -- JSONL rendering -------------------------------------------------- *)
+
+(* A tiny validator for the flat JSON objects ft_obs emits: string keys
+   mapping to string / number / bool / null scalars.  Returns the
+   key list on success. *)
+let parse_flat_json line =
+  let n = String.length line in
+  let pos = ref 0 in
+  let fail msg = Alcotest.failf "%s at %d in %s" msg !pos line in
+  let peek () = if !pos < n then line.[!pos] else fail "unexpected end" in
+  let advance () = Stdlib.incr pos in
+  let expect c = if peek () <> c then fail (Printf.sprintf "expected %c" c) else advance () in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | '"' -> advance ()
+      | '\\' ->
+          advance ();
+          (match peek () with
+          | ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') as c ->
+              Buffer.add_char buf c;
+              advance ();
+              go ()
+          | 'u' ->
+              advance ();
+              for _ = 1 to 4 do
+                (match peek () with
+                | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> advance ()
+                | _ -> fail "bad \\u escape")
+              done;
+              go ()
+          | _ -> fail "bad escape")
+      | c when Char.code c < 0x20 -> fail "raw control character"
+      | c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_scalar () =
+    match peek () with
+    | '"' -> ignore (parse_string ())
+    | 't' -> pos := !pos + 4
+    | 'f' -> pos := !pos + 5
+    | 'n' -> pos := !pos + 4
+    | '-' | '0' .. '9' ->
+        let start = !pos in
+        while
+          !pos < n
+          && (match line.[!pos] with
+             | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+             | _ -> false)
+        do
+          advance ()
+        done;
+        if float_of_string_opt (String.sub line start (!pos - start)) = None then
+          fail "bad number"
+    | _ -> fail "bad scalar"
+  in
+  expect '{';
+  let keys = ref [] in
+  let rec members () =
+    keys := parse_string () :: !keys;
+    expect ':';
+    parse_scalar ();
+    match peek () with
+    | ',' ->
+        advance ();
+        members ()
+    | '}' -> advance ()
+    | _ -> fail "expected , or }"
+  in
+  members ();
+  if !pos <> n then fail "trailing garbage";
+  List.rev !keys
+
+let test_jsonl_well_formed () =
+  let path = Filename.temp_file "ft_obs" ".jsonl" in
+  Trace.enable_jsonl path;
+  let s = Trace.span_begin "run" [ ("note", Trace.Str "quote \" slash \\ nl \n tab \t") ] in
+  Trace.event "weird" [ ("nan", Float Float.nan); ("inf", Float infinity);
+                        ("neg", Float (-3.5)); ("flag", Bool false) ];
+  Trace.incr "count" ~by:3;
+  Trace.gauge "level" 0.25;
+  Trace.span_end s;
+  Trace.close ();
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  let lines = List.rev !lines in
+  Sys.remove path;
+  (* begin, event, live gauge, end, plus counter + gauge summaries *)
+  check_int "all records written" 6 (List.length lines);
+  List.iter
+    (fun line ->
+      let keys = parse_flat_json line in
+      check_bool "leads with ts then ev"
+        true
+        (match keys with "ts" :: "ev" :: _ -> true | _ -> false))
+    lines;
+  let event_line = List.nth lines 1 in
+  check_bool "non-finite floats serialize as null" true
+    (String.length event_line > 0
+    && (let found = ref false in
+        let needle = "\"nan\":null" in
+        for i = 0 to String.length event_line - String.length needle do
+          if String.sub event_line i (String.length needle) = needle then
+            found := true
+        done;
+        !found))
+
+(* -- determinism: tracing never changes search results ---------------- *)
+
+let pool1 = Ft_par.Pool.create 1
+let pool4 = Ft_par.Pool.create 4
+
+let gemm_space () =
+  Ft_schedule.Space.make (Ft_ir.Operators.gemm ~m:64 ~n:64 ~k:64)
+    Ft_schedule.Target.v100
+
+let result_fingerprint (r : Ft_explore.Driver.result) =
+  ( Ft_schedule.Config.key r.best_config,
+    r.best_value,
+    r.n_evals,
+    r.sim_time_s,
+    List.map
+      (fun (s : Ft_explore.Driver.sample) -> (s.at_s, s.n_evals, s.best_value))
+      r.history )
+
+let searches =
+  [
+    ( "q",
+      fun ~seed ~pool space ->
+        Ft_explore.Q_method.search ~seed ~n_trials:5 ~max_evals:60 ~pool space );
+    ( "p",
+      fun ~seed ~pool space ->
+        Ft_explore.P_method.search ~seed ~n_trials:3 ~max_evals:60 ~pool space );
+    ( "random",
+      fun ~seed ~pool space ->
+        Ft_explore.Random_method.search ~seed ~n_trials:40 ~max_evals:60 ~pool
+          space );
+    ( "autotvm",
+      fun ~seed ~pool space ->
+        Ft_baselines.Autotvm.search ~seed ~n_rounds:3 ~max_evals:60 ~pool space );
+  ]
+
+let test_tracing_is_invisible =
+  let space = gemm_space () in
+  QCheck.Test.make ~count:4 ~name:"tracing leaves search results unchanged"
+    QCheck.(pair (int_bound 9999) (int_bound (List.length searches - 1)))
+    (fun (seed, which) ->
+      let name, search = List.nth searches which in
+      Trace.close ();
+      List.for_all
+        (fun pool ->
+          let reference = result_fingerprint (search ~seed ~pool space) in
+          let path = Filename.temp_file "ft_obs_qcheck" ".jsonl" in
+          Trace.enable_jsonl path;
+          let traced = result_fingerprint (search ~seed ~pool space) in
+          Trace.close ();
+          Sys.remove path;
+          if traced <> reference then
+            QCheck.Test.fail_reportf "%s diverged under tracing at %d lanes (seed %d)"
+              name (Ft_par.Pool.lanes pool) seed
+          else true)
+        [ pool1; pool4 ])
+
+let () =
+  let qcheck = QCheck_alcotest.to_alcotest in
+  Alcotest.run "ft_obs"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "span nesting" `Quick test_span_nesting;
+          Alcotest.test_case "with_span" `Quick test_with_span;
+          Alcotest.test_case "counters and gauges" `Quick test_counters_and_gauges;
+          Alcotest.test_case "disabled is a no-op" `Quick test_disabled_is_noop;
+          Alcotest.test_case "jsonl well-formed" `Quick test_jsonl_well_formed;
+        ] );
+      ("determinism", [ qcheck test_tracing_is_invisible ]);
+    ]

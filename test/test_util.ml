@@ -43,6 +43,39 @@ let test_rng_shuffle_permutation () =
   Array.sort compare sorted;
   Alcotest.(check (array int)) "is a permutation" (Array.init 20 Fun.id) sorted
 
+(* Rejection sampling keeps every residue equally likely; the old
+   `raw mod bound` draw was modulo-biased.  The bias at 62 bits is far
+   below statistical resolution, so this is a sanity bound: a grossly
+   broken draw (e.g. returning only small residues) fails it. *)
+let test_rng_int_uniformity () =
+  let rng = Ft_util.Rng.create 11 in
+  let bound = 8 and draws = 40_000 in
+  let buckets = Array.make bound 0 in
+  for _ = 1 to draws do
+    let x = Ft_util.Rng.int rng bound in
+    buckets.(x) <- buckets.(x) + 1
+  done;
+  let expected = float_of_int draws /. float_of_int bound in
+  let chi2 =
+    Array.fold_left
+      (fun acc n ->
+        let d = float_of_int n -. expected in
+        acc +. (d *. d /. expected))
+      0. buckets
+  in
+  (* 7 degrees of freedom: P(chi2 > 24.3) ~ 0.001 *)
+  check_bool (Printf.sprintf "chi-square %.2f within bounds" chi2) true (chi2 < 25.)
+
+let test_rng_int_large_bounds () =
+  (* Bounds near max_int exercise the rejection path: the acceptance
+     window is barely over half the raw range. *)
+  let rng = Ft_util.Rng.create 13 in
+  let bound = (max_int / 2) + 1 in
+  for _ = 1 to 1_000 do
+    let x = Ft_util.Rng.int rng bound in
+    check_bool "in range at huge bound" true (x >= 0 && x < bound)
+  done
+
 let test_divisors () =
   Alcotest.(check (list int)) "divisors 12" [ 1; 2; 3; 4; 6; 12 ]
     (Ft_util.Mathx.divisors 12);
@@ -82,6 +115,23 @@ let test_misc_math () =
   check_int "clamp" 5 (Ft_util.Mathx.clamp 0 5 9);
   check_int "binomial" 10 (Ft_util.Mathx.binomial 5 2);
   check_int "permutations" 24 (List.length (Ft_util.Mathx.permutations [ 1; 2; 3; 4 ]))
+
+(* Regression: the pivot used to be removed with List.filter, deleting
+   every duplicate at once — [2; 2] produced [[2]] instead of [[2; 2]]. *)
+let test_permutations_with_duplicates () =
+  Alcotest.(check (list (list int))) "two equal elements" [ [ 2; 2 ] ]
+    (Ft_util.Mathx.permutations [ 2; 2 ]);
+  Alcotest.(check (list (list int))) "multiset 1 1 2"
+    [ [ 1; 1; 2 ]; [ 1; 2; 1 ]; [ 2; 1; 1 ] ]
+    (List.sort compare (Ft_util.Mathx.permutations [ 1; 1; 2 ]));
+  (* distinct permutations of a multiset: 4!/2!2! = 6, each length 4 *)
+  let perms = Ft_util.Mathx.permutations [ 3; 3; 5; 5 ] in
+  check_int "multiset count" 6 (List.length perms);
+  check_int "no duplicates" 6 (List.length (List.sort_uniq compare perms));
+  List.iter
+    (fun p -> Alcotest.(check (list int)) "same multiset" [ 3; 3; 5; 5 ]
+        (List.sort compare p))
+    perms
 
 let test_stats () =
   check_float "mean" 2.5 (Ft_util.Stats.mean [ 1.; 2.; 3.; 4. ]);
@@ -141,6 +191,8 @@ let () =
           Alcotest.test_case "split" `Quick test_rng_split_independent;
           Alcotest.test_case "invalid args" `Quick test_rng_invalid;
           Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "int uniformity" `Quick test_rng_int_uniformity;
+          Alcotest.test_case "int large bounds" `Quick test_rng_int_large_bounds;
         ] );
       ( "mathx",
         [
@@ -150,6 +202,8 @@ let () =
           Alcotest.test_case "closed-form count" `Quick
             test_count_factorizations_matches_enumeration;
           Alcotest.test_case "misc" `Quick test_misc_math;
+          Alcotest.test_case "permutations with duplicates" `Quick
+            test_permutations_with_duplicates;
           QCheck_alcotest.to_alcotest qcheck_factor_product;
           QCheck_alcotest.to_alcotest qcheck_divisors_divide;
         ] );
