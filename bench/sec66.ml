@@ -20,6 +20,22 @@ let run_network name run_fn =
     (Ft_util.Table.fmt_ratio speedup);
   speedup
 
+(* Warm re-run through a tuning log: the first pass populates the
+   store, the second pass reapplies every layer from it — zero
+   searches, same end-to-end latency. *)
+let warm_rerun name run_fn =
+  let store = Ft_store.Store.create () in
+  let (cold : Ft_dnn.Runner.network_result) = run_fn ~store in
+  let (warm : Ft_dnn.Runner.network_result) = run_fn ~store in
+  let distinct = List.length cold.layer_times in
+  Printf.printf
+    "%s warm re-run: %d/%d distinct layers reused from the tuning log, \
+     total %.2f ms (cold %.2f ms)\n"
+    name warm.reused_layers distinct (warm.total_s *. 1e3)
+    (cold.total_s *. 1e3);
+  assert (warm.reused_layers = distinct);
+  assert (warm.total_s = cold.total_s)
+
 let run () =
   Bench_common.section "Section 6.6: full DNNs (V100, batch 1)";
   let target = Ft_schedule.Target.v100 in
@@ -33,5 +49,10 @@ let run () =
         Ft_dnn.Runner.overfeat ~seed:Bench_common.seed
           ~max_evals:Bench_common.search_evals ~target opt)
   in
+  Bench_common.subsection "Schedule reuse (tuning-log warm start)";
+  warm_rerun "OverFeat" (fun ~store ->
+      Ft_dnn.Runner.overfeat ~seed:Bench_common.seed
+        ~max_evals:Bench_common.search_evals ~store ~target
+        Ft_dnn.Runner.Flextensor_q);
   Printf.printf "\npaper: YOLO-v1 1.07x, OverFeat 1.39x; measured: %s / %s\n"
     (Ft_util.Table.fmt_ratio yolo) (Ft_util.Table.fmt_ratio overfeat)

@@ -140,6 +140,29 @@ let method_arg =
   Arg.(value & opt method_conv Flextensor.Q_learning & info [ "m"; "method" ]
          ~docv:"METHOD" ~doc:"Search method: q, p, random")
 
+let log_arg =
+  Arg.(value & opt (some string) None & info [ "log" ] ~docv:"FILE"
+         ~doc:"Append the finished search to the JSONL tuning log $(docv) \
+               (created if missing).  Logging never changes search \
+               results — the store consumes no search RNG.")
+
+let reuse_arg =
+  Arg.(value & flag & info [ "reuse" ]
+         ~doc:"Consult the tuning log before searching (requires \
+               $(b,--log)): an exact hit reapplies the logged schedule \
+               with zero fresh measurements; a near-shape hit warm-starts \
+               the search with transferred schedules.")
+
+(* Open a tuning log, surfacing (but tolerating) malformed lines. *)
+let open_store path =
+  let store = Flextensor.Store.load path in
+  List.iter
+    (fun { Flextensor.Store.line; reason } ->
+      Printf.eprintf "warning: %s:%d: skipped malformed log line (%s)\n" path
+        line reason)
+    (Flextensor.Store.issues store);
+  store
+
 let with_graph op dims f =
   match build_graph op dims with
   | graph -> f graph
@@ -179,10 +202,15 @@ let space_cmd =
     Term.(const run $ op_arg $ dims_arg $ target_arg)
 
 let optimize_cmd =
-  let run op dims target seed trials search jobs n_parallel trace =
+  let run op dims target seed trials search jobs n_parallel trace log reuse =
     with_graph op dims (fun graph ->
         set_jobs jobs;
         set_trace trace;
+        (if reuse && Option.is_none log then begin
+           Printf.eprintf "error: --reuse requires --log FILE\n";
+           exit 1
+         end);
+        let store = Option.map open_store log in
         let options =
           { Flextensor.default_options with seed; n_trials = trials; search;
             n_parallel }
@@ -195,9 +223,19 @@ let optimize_cmd =
                 ("method", Str (Flextensor.search_name search));
                 ("seed", Int seed);
                 ("trials", Int trials) ]
-            (fun () -> Flextensor.optimize ~options graph target)
+            (fun () -> Flextensor.optimize ~options ?store ~reuse graph target)
         in
+        (match report.provenance with
+        | Flextensor.Searched -> ()
+        | Flextensor.Transferred n ->
+            Printf.printf
+              "tuning log: warm start with %d transferred schedule(s)\n" n
+        | Flextensor.Reused ->
+            Printf.printf
+              "tuning log: exact hit, reused logged schedule (no search, no \
+               fresh measurements)\n");
         print_endline (Flextensor.report_summary report);
+        Printf.printf "config: %s\n" (Flextensor.Config_io.to_string report.config);
         print_endline "\nschedule primitives:";
         List.iter
           (fun prim -> Printf.printf "  %s\n" (Flextensor.Primitive.to_string prim))
@@ -206,9 +244,61 @@ let optimize_cmd =
   in
   Cmd.v (Cmd.info "optimize" ~doc:"Explore the schedule space and report the best")
     Term.(const run $ op_arg $ dims_arg $ target_arg $ seed_arg $ trials_arg
-          $ method_arg $ jobs_arg $ n_parallel_arg $ trace_arg)
+          $ method_arg $ jobs_arg $ n_parallel_arg $ trace_arg $ log_arg
+          $ reuse_arg)
 
-let schedule_cmd =
+(* `schedule replay`: reapply a tuning-log entry without searching and
+   check that the recomputed value equals the logged best bit-for-bit
+   (the cost model is deterministic, so any drift means the log no
+   longer matches the code). *)
+let replay_cmd =
+  let replay_log_arg =
+    Arg.(required & opt (some string) None & info [ "log" ] ~docv:"FILE"
+           ~doc:"JSONL tuning log to replay from.")
+  in
+  let run op dims target search log =
+    with_graph op dims (fun graph ->
+        let store = open_store log in
+        let space = Flextensor.Space.make graph target in
+        let key = Flextensor.Store_record.key_of_space space in
+        let method_name = Flextensor.search_name search in
+        match Flextensor.Store.best_exact ~method_name store key with
+        | None ->
+            Printf.eprintf "error: no %s record for %s on %s in %s\n"
+              method_name key.Flextensor.Store_record.graph
+              (Flextensor.Target.name target) log;
+            exit 1
+        | Some record -> (
+            match
+              Flextensor.reapply graph target record.Flextensor.Store_record.config
+            with
+            | Error msg ->
+                Printf.eprintf "error: %s\n" msg;
+                exit 1
+            | Ok report ->
+                Printf.printf "replayed config: %s\n"
+                  record.Flextensor.Store_record.config;
+                print_endline (Flextensor.report_summary report);
+                if report.perf_value = record.Flextensor.Store_record.best_value
+                then
+                  Printf.printf "replay matches the logged best (%.17g)\n"
+                    report.perf_value
+                else begin
+                  Printf.eprintf
+                    "error: replayed value %.17g differs from logged best \
+                     %.17g\n"
+                    report.perf_value record.Flextensor.Store_record.best_value;
+                  exit 1
+                end))
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Reapply the best logged schedule for an operator without \
+             searching; fail if its value no longer matches the log")
+    Term.(const run $ op_arg $ dims_arg $ target_arg $ method_arg
+          $ replay_log_arg)
+
+let schedule_print_cmd =
   let run op dims target seed trials jobs =
     with_graph op dims (fun graph ->
         set_jobs jobs;
@@ -216,9 +306,20 @@ let schedule_cmd =
         let report = Flextensor.optimize ~options graph target in
         print_string (Flextensor.generated_code report))
   in
-  Cmd.v (Cmd.info "schedule" ~doc:"Print the generated loop nest of the best schedule")
+  Cmd.v
+    (Cmd.info "print"
+       ~doc:"Optimize and print the generated loop nest of the best schedule")
     Term.(const run $ op_arg $ dims_arg $ target_arg $ seed_arg $ trials_arg
           $ jobs_arg)
+
+let schedule_subcommands = [ "print"; "replay" ]
+
+let schedule_cmd =
+  Cmd.group
+    (Cmd.info "schedule"
+       ~doc:"Print the generated loop nest of the best schedule \
+             ($(b,print), the default), or $(b,replay) a tuning-log entry")
+    [ schedule_print_cmd; replay_cmd ]
 
 let verify_cmd =
   let run op dims target seed trials jobs =
@@ -278,8 +379,25 @@ let () =
   Flextensor.Trace.init_from_env ();
   at_exit Flextensor.Trace.close;
   let default = Term.(ret (const (`Help (`Pager, None)))) in
+  (* Backwards compatibility: `schedule OP DIMS…` predates the
+     `schedule` subcommands, so an operator name in subcommand position
+     is rewritten to `schedule print OP DIMS…`. *)
+  let argv = Sys.argv in
+  let argv =
+    if
+      Array.length argv >= 3
+      && String.equal argv.(1) "schedule"
+      && String.length argv.(2) > 0
+      && argv.(2).[0] <> '-'
+      && not (List.mem argv.(2) schedule_subcommands)
+    then
+      Array.concat
+        [ Array.sub argv 0 2; [| "print" |];
+          Array.sub argv 2 (Array.length argv - 2) ]
+    else argv
+  in
   exit
-    (Cmd.eval
+    (Cmd.eval ~argv
        (Cmd.group ~default
           (Cmd.info "flextensor" ~version:"1.0.0"
              ~doc:"Automatic schedule exploration for tensor computation")

@@ -20,6 +20,10 @@ module Verify = Ft_lower.Verify
 module Driver = Ft_explore.Driver
 module Pool = Ft_par.Pool
 module Trace = Ft_obs.Trace
+module Config_io = Ft_schedule.Config_io
+module Store = Ft_store.Store
+module Store_record = Ft_store.Record
+module Transfer = Ft_store.Transfer
 
 type search_method = Q_learning | P_exhaustive | Random_walk
 
@@ -50,6 +54,11 @@ let default_options =
     n_parallel = 1;
   }
 
+(* How the reported schedule was obtained: a cold search, a search
+   warm-started with schedules transferred from a tuning log, or a
+   logged schedule reapplied outright (no search, no measurement). *)
+type provenance = Searched | Transferred of int | Reused
+
 type report = {
   graph : Op.graph;
   target : Target.t;
@@ -63,6 +72,7 @@ type report = {
   n_evals : int;
   sim_time_s : float;
   history : Driver.sample list;
+  provenance : provenance;
 }
 
 let search_name = function
@@ -70,31 +80,32 @@ let search_name = function
   | P_exhaustive -> "P-method"
   | Random_walk -> "random"
 
-let run_one_search options seed space =
+let run_one_search options ~transfer seed space =
   let n_parallel = options.n_parallel in
   match options.search with
   | Q_learning ->
       Ft_explore.Q_method.search ~seed ~n_trials:options.n_trials
         ~n_starts:options.n_starts ~steps:options.steps ~gamma:options.gamma
-        ?max_evals:options.max_evals ~flops_scale:options.flops_scale
-        ~n_parallel space
+        ?max_evals:options.max_evals ~transfer_seeds:transfer
+        ~flops_scale:options.flops_scale ~n_parallel space
   | P_exhaustive ->
       Ft_explore.P_method.search ~seed ~n_trials:options.n_trials
         ~n_starts:options.n_starts ~gamma:options.gamma
-        ?max_evals:options.max_evals ~flops_scale:options.flops_scale
-        ~n_parallel space
+        ?max_evals:options.max_evals ~transfer_seeds:transfer
+        ~flops_scale:options.flops_scale ~n_parallel space
   | Random_walk ->
       Ft_explore.Random_method.search ~seed
         ~n_trials:(options.n_trials * options.n_starts)
-        ?max_evals:options.max_evals ~flops_scale:options.flops_scale
-        ~n_parallel space
+        ?max_evals:options.max_evals ~transfer_seeds:transfer
+        ~flops_scale:options.flops_scale ~n_parallel space
 
 (* Rugged landscapes reward independent restarts; results are merged by
    keeping the best run and summing the exploration accounting. *)
-let run_search options space =
+let run_search options ~transfer space =
   let restarts = max 1 options.restarts in
   let runs =
-    List.init restarts (fun i -> run_one_search options (options.seed + (i * 57)) space)
+    List.init restarts (fun i ->
+        run_one_search options ~transfer (options.seed + (i * 57)) space)
   in
   match runs with
   | [] -> assert false
@@ -112,24 +123,101 @@ let run_search options space =
           List.fold_left (fun acc (r : Driver.result) -> acc +. r.sim_time_s) 0. runs;
       }
 
-let optimize ?(options = default_options) graph target =
-  let graph = Op.validate_exn graph in
-  let space = Space.make graph target in
-  let result = run_search options space in
+let make_report graph target space ~provenance ~config ~perf ~perf_value
+    ~n_evals ~sim_time_s ~history =
   {
     graph;
     target;
     space;
     space_size = Space.size space;
     analysis = Static_analyzer.analyze graph;
-    config = result.best_config;
-    primitives = Primitive.of_config space result.best_config;
-    perf = result.best_perf;
-    perf_value = result.best_value;
-    n_evals = result.n_evals;
-    sim_time_s = result.sim_time_s;
-    history = result.history;
+    config;
+    primitives = Primitive.of_config space config;
+    perf;
+    perf_value;
+    n_evals;
+    sim_time_s;
+    history;
+    provenance;
   }
+
+let record_of_result space method_name seed (result : Driver.result) =
+  {
+    Store_record.key = Store_record.key_of_space space;
+    method_name;
+    seed;
+    best_value = result.best_value;
+    sim_time_s = result.sim_time_s;
+    n_evals = result.n_evals;
+    config = Config_io.to_string result.best_config;
+  }
+
+(* The store is consulted before, and written after, the search — never
+   during it, and never through the evaluator or the search RNG.  An
+   exact hit reapplies the logged schedule through the cost model
+   directly (zero fresh measurements, identical value by determinism);
+   a near hit warm-starts the search by appending refitted schedules
+   after the regular seed points, leaving the RNG draw sequence — and
+   hence a cold search's trajectory — untouched. *)
+let optimize ?(options = default_options) ?store ?(reuse = false) graph target =
+  let graph = Op.validate_exn graph in
+  let space = Space.make graph target in
+  let method_name = search_name options.search in
+  let key = Store_record.key_of_space space in
+  let exact_hit =
+    if not reuse then None
+    else
+      match store with
+      | None -> None
+      | Some s -> (
+          match Store.best_exact ~method_name s key with
+          | None -> None
+          | Some record -> (
+              match Config_io.of_string_for space record.Store_record.config with
+              | Ok cfg -> Some cfg
+              | Error _ -> None))
+  in
+  match exact_hit with
+  | Some cfg ->
+      let perf = Ft_hw.Cost.evaluate ~flops_scale:options.flops_scale space cfg in
+      make_report graph target space ~provenance:Reused ~config:cfg ~perf
+        ~perf_value:(Ft_hw.Cost.perf_value space perf) ~n_evals:0 ~sim_time_s:0.
+        ~history:[]
+  | None ->
+      let transfer =
+        match store with
+        | Some s when reuse -> Transfer.seeds ~method_name s space
+        | _ -> []
+      in
+      let result = run_search options ~transfer space in
+      (match store with
+      | Some s ->
+          Store.add s (record_of_result space method_name options.seed result)
+      | None -> ());
+      let provenance =
+        match transfer with
+        | [] -> Searched
+        | seeds -> Transferred (List.length seeds)
+      in
+      make_report graph target space ~provenance ~config:result.best_config
+        ~perf:result.best_perf ~perf_value:result.best_value
+        ~n_evals:result.n_evals ~sim_time_s:result.sim_time_s
+        ~history:result.history
+
+(* Reapply a serialized schedule without searching or measuring:
+   validate it against the freshly built space and query the cost
+   model.  Used by [schedule replay] to re-check tuning-log entries. *)
+let reapply ?(flops_scale = 1.0) graph target config_text =
+  let graph = Op.validate_exn graph in
+  let space = Space.make graph target in
+  match Config_io.of_string_for space config_text with
+  | Error msg -> Error msg
+  | Ok cfg ->
+      let perf = Ft_hw.Cost.evaluate ~flops_scale space cfg in
+      Ok
+        (make_report graph target space ~provenance:Reused ~config:cfg ~perf
+           ~perf_value:(Ft_hw.Cost.perf_value space perf) ~n_evals:0
+           ~sim_time_s:0. ~history:[])
 
 (* Lowered pseudo-code of the optimized schedule. *)
 let generated_code report =

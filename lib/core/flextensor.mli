@@ -42,6 +42,21 @@ module Pool = Ft_par.Pool
     with or without it. *)
 module Trace = Ft_obs.Trace
 
+(** Schedule serialization ({!Ft_schedule.Config_io}): the textual
+    config format stored in tuning logs. *)
+module Config_io = Ft_schedule.Config_io
+
+(** Persistent schedule repository: append-only JSONL tuning log with
+    exact-key and nearest-shape queries ({!Ft_store.Store}).  Store
+    reads and writes never consume search RNG, so logging leaves
+    search results bit-for-bit unchanged. *)
+module Store = Ft_store.Store
+
+module Store_record = Ft_store.Record
+
+(** Cross-shape schedule transfer (warm starts) ({!Ft_store.Transfer}). *)
+module Transfer = Ft_store.Transfer
+
 type search_method = Q_learning | P_exhaustive | Random_walk
 
 type options = {
@@ -63,6 +78,12 @@ type options = {
 
 val default_options : options
 
+(** How the reported schedule was obtained: [Searched] — a cold
+    search; [Transferred n] — a search warm-started with [n] schedules
+    refitted from a tuning log; [Reused] — a logged schedule reapplied
+    outright (no search, zero fresh measurements). *)
+type provenance = Searched | Transferred of int | Reused
+
 type report = {
   graph : Op.graph;
   target : Target.t;
@@ -76,14 +97,32 @@ type report = {
   n_evals : int;
   sim_time_s : float;  (** simulated exploration time *)
   history : Driver.sample list;
+  provenance : provenance;
 }
 
 val search_name : search_method -> string
 
 (** Optimize a tensor computation for a target.  Validates the graph,
     generates the schedule space, explores it, and returns the best
-    schedule with its predicted performance. *)
-val optimize : ?options:options -> Op.graph -> Target.t -> report
+    schedule with its predicted performance.
+
+    With [~store], the finished search is appended to the tuning log.
+    With [~reuse:true] (requires [~store]): an exact-key hit for the
+    same search method reapplies the logged schedule through the cost
+    model — zero fresh measurements, [n_evals = 0], and (the model
+    being deterministic) a value identical to the logged best; a miss
+    warm-starts the search with refitted nearest-shape schedules
+    appended after the regular seed points, leaving the RNG draw
+    sequence untouched. *)
+val optimize :
+  ?options:options -> ?store:Store.t -> ?reuse:bool -> Op.graph -> Target.t -> report
+
+(** Reapply a serialized schedule ({!Config_io} format) to a graph and
+    target without searching or measuring: validate it against the
+    freshly generated space and query the cost model.  [Error]
+    explains a parse failure or a space mismatch. *)
+val reapply :
+  ?flops_scale:float -> Op.graph -> Target.t -> string -> (report, string) result
 
 (** Pseudo-C rendering of the optimized schedule's loop nest. *)
 val generated_code : report -> string

@@ -17,31 +17,80 @@ type network_result = {
   optimizer_name : string;
   layer_times : layer_time list;
   total_s : float;
+  reused_layers : int;
 }
 
 let optimizer_name = function
   | Flextensor_q -> "FlexTensor"
   | Autotvm_baseline -> "AutoTVM"
 
-let optimize_layer ?(seed = 2020) ?(max_evals = 250) optimizer target graph =
+(* Store records are keyed per search method, so AutoTVM runs never
+   pick up FlexTensor schedules (and vice versa). *)
+let method_name = function
+  | Flextensor_q -> "Q-method"
+  | Autotvm_baseline -> "AutoTVM"
+
+(* Optimize one layer, consulting the tuning log first when one is
+   given: an exact hit for the same method reapplies the logged
+   schedule through the cost model (the search clock never starts); a
+   miss searches and appends the result.  Returns the kernel time and
+   whether the schedule came from the log. *)
+let optimize_layer ?(seed = 2020) ?(max_evals = 250) ?store optimizer target
+    graph =
   let space = Ft_schedule.Space.make graph target in
-  let result =
-    match optimizer with
-    | Flextensor_q -> Ft_explore.Q_method.search ~seed ~n_trials:1000 ~max_evals space
-    | Autotvm_baseline ->
-        Ft_baselines.Autotvm.search ~seed ~n_rounds:1000 ~max_evals space
+  let key = Ft_store.Record.key_of_space space in
+  let method_name = method_name optimizer in
+  let logged =
+    match store with
+    | None -> None
+    | Some store -> (
+        match Ft_store.Store.best_exact ~method_name store key with
+        | None -> None
+        | Some record -> (
+            match Ft_schedule.Config_io.of_string_for space record.config with
+            | Ok cfg -> Some cfg
+            | Error _ -> None))
   in
-  result.best_perf.Ft_hw.Perf.time_s
+  match logged with
+  | Some cfg ->
+      let perf = Ft_hw.Cost.evaluate space cfg in
+      (perf.Ft_hw.Perf.time_s, true)
+  | None ->
+      let result =
+        match optimizer with
+        | Flextensor_q ->
+            Ft_explore.Q_method.search ~seed ~n_trials:1000 ~max_evals space
+        | Autotvm_baseline ->
+            Ft_baselines.Autotvm.search ~seed ~n_rounds:1000 ~max_evals space
+      in
+      Option.iter
+        (fun store ->
+          Ft_store.Store.add store
+            {
+              Ft_store.Record.key;
+              method_name;
+              seed;
+              best_value = result.Ft_explore.Driver.best_value;
+              sim_time_s = result.sim_time_s;
+              n_evals = result.n_evals;
+              config = Ft_schedule.Config_io.to_string result.best_config;
+            })
+        store;
+      (result.best_perf.Ft_hw.Perf.time_s, false)
 
 (* [layers] are (name, conv graph, occurrence count); identical layers
    are optimized once (YOLO-v1 repeats C7/C8 four times). *)
-let run ?(seed = 2020) ?(max_evals = 250) ?(fused = true) ~network ~target layers
-    optimizer =
+let run ?(seed = 2020) ?(max_evals = 250) ?(fused = true) ?store ~network
+    ~target layers optimizer =
+  let reused_layers = ref 0 in
   let layer_times =
     List.map
       (fun (layer_name, graph, occurrences) ->
         let graph = if fused then Fusion.with_bias_relu graph else graph in
-        let kernel_s = optimize_layer ~seed ~max_evals optimizer target graph in
+        let kernel_s, reused =
+          optimize_layer ~seed ~max_evals ?store optimizer target graph
+        in
+        if reused then incr reused_layers;
         let epilogue_s =
           if fused then 0. else Fusion.unfused_epilogue_time target graph
         in
@@ -53,7 +102,15 @@ let run ?(seed = 2020) ?(max_evals = 250) ?(fused = true) ~network ~target layer
       (fun acc t -> acc +. (float_of_int t.occurrences *. (t.kernel_s +. t.epilogue_s)))
       0. layer_times
   in
-  { network; optimizer_name = optimizer_name optimizer; layer_times; total_s }
+  { network; optimizer_name = optimizer_name optimizer; layer_times; total_s;
+    reused_layers = !reused_layers }
+
+(* Layers are deduplicated by name, but a name may only ever stand for
+   one graph: a collision between two structurally different graphs
+   means the layer table itself is wrong, and silently keeping the
+   first graph would mis-tally the network latency. *)
+let graph_signature (graph : Ft_ir.Op.graph) =
+  Format.asprintf "%a" Ft_ir.Op.pp_graph graph
 
 let count_occurrences layers =
   let tally = Hashtbl.create 16 in
@@ -61,27 +118,34 @@ let count_occurrences layers =
   List.iter
     (fun (name, graph) ->
       match Hashtbl.find_opt tally name with
-      | Some (g, n) -> Hashtbl.replace tally name (g, n + 1)
+      | Some (first, signature, n) ->
+          if not (String.equal signature (graph_signature graph)) then
+            invalid_arg
+              (Printf.sprintf
+                 "Runner.count_occurrences: layer name %S stands for two \
+                  different graphs"
+                 name);
+          Hashtbl.replace tally name (first, signature, n + 1)
       | None ->
-          Hashtbl.add tally name (graph, 1);
+          Hashtbl.add tally name (graph, graph_signature graph, 1);
           order := name :: !order)
     layers;
   List.rev_map
     (fun name ->
-      let graph, n = Hashtbl.find tally name in
+      let graph, _, n = Hashtbl.find tally name in
       (name, graph, n))
     !order
 
-let yolo_v1 ?seed ?max_evals ?fused ~target optimizer =
+let yolo_v1 ?seed ?max_evals ?fused ?store ~target optimizer =
   let layers =
     count_occurrences
       (List.map
          (fun layer -> (layer.Ft_workloads.Yolo.name, Ft_workloads.Yolo.graph layer))
          Ft_workloads.Yolo.full_network)
   in
-  run ?seed ?max_evals ?fused ~network:"YOLO-v1" ~target layers optimizer
+  run ?seed ?max_evals ?fused ?store ~network:"YOLO-v1" ~target layers optimizer
 
-let overfeat ?seed ?max_evals ?fused ~target optimizer =
+let overfeat ?seed ?max_evals ?fused ?store ~target optimizer =
   let layers =
     count_occurrences
       (List.map
@@ -89,4 +153,4 @@ let overfeat ?seed ?max_evals ?fused ~target optimizer =
            (layer.Ft_workloads.Overfeat.name, Ft_workloads.Overfeat.graph layer))
          Ft_workloads.Overfeat.layers)
   in
-  run ?seed ?max_evals ?fused ~network:"OverFeat" ~target layers optimizer
+  run ?seed ?max_evals ?fused ?store ~network:"OverFeat" ~target layers optimizer

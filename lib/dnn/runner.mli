@@ -15,28 +15,35 @@ type network_result = {
   optimizer_name : string;
   layer_times : layer_time list;
   total_s : float;
+  reused_layers : int;  (** distinct layers satisfied from the tuning log *)
 }
 
 val optimizer_name : optimizer -> string
 
-(** Optimize one layer graph; returns predicted kernel seconds. *)
+(** Optimize one layer graph, consulting [store] first (exact-key hit
+    for the same search method → reapply the logged schedule, no
+    search) and appending the search result on a miss.  Returns
+    (predicted kernel seconds, came-from-log). *)
 val optimize_layer :
-  ?seed:int -> ?max_evals:int -> optimizer -> Ft_schedule.Target.t ->
-  Ft_ir.Op.graph -> float
+  ?seed:int -> ?max_evals:int -> ?store:Ft_store.Store.t -> optimizer ->
+  Ft_schedule.Target.t -> Ft_ir.Op.graph -> float * bool
 
-(** Deduplicate a layer sequence into (name, graph, count). *)
+(** Deduplicate a layer sequence into (name, graph, count).  Raises
+    [Invalid_argument] if one name stands for two structurally
+    different graphs — silently keeping the first would mis-tally the
+    network latency. *)
 val count_occurrences :
   (string * Ft_ir.Op.graph) list -> (string * Ft_ir.Op.graph * int) list
 
 val run :
-  ?seed:int -> ?max_evals:int -> ?fused:bool ->
+  ?seed:int -> ?max_evals:int -> ?fused:bool -> ?store:Ft_store.Store.t ->
   network:string -> target:Ft_schedule.Target.t ->
   (string * Ft_ir.Op.graph * int) list -> optimizer -> network_result
 
 val yolo_v1 :
-  ?seed:int -> ?max_evals:int -> ?fused:bool ->
+  ?seed:int -> ?max_evals:int -> ?fused:bool -> ?store:Ft_store.Store.t ->
   target:Ft_schedule.Target.t -> optimizer -> network_result
 
 val overfeat :
-  ?seed:int -> ?max_evals:int -> ?fused:bool ->
+  ?seed:int -> ?max_evals:int -> ?fused:bool -> ?store:Ft_store.Store.t ->
   target:Ft_schedule.Target.t -> optimizer -> network_result

@@ -131,22 +131,44 @@ let init evaluator initial =
 
 (* Default H seeding: the naive point, the two generic per-hardware
    heuristic points (the same knowledge the front-end's pruning bakes
-   into the space), and a handful of random ones. *)
-let seed_points ?(heuristics = true) rng space n_random =
+   into the space), and a handful of random ones.  [extra] carries
+   externally supplied warm-start points (e.g. schedules transferred
+   from a tuning log); they are appended last so the RNG draws — and
+   therefore every downstream stochastic choice — are identical
+   whether or not extras are present. *)
+let seed_points ?(heuristics = true) ?(extra = []) rng space n_random =
   (Ft_schedule.Space.default_config space
   :: (if heuristics then Ft_schedule.Heuristics.seed_configs space else []))
   @ List.init n_random (fun _ -> Ft_schedule.Space.random_config rng space)
+  @ extra
 
 let finish ~method_name state =
+  (* Snapshot the accounting before assembling anything: the clock and
+     counters must describe the search alone.  (The old code called
+     [Evaluator.perf_of] inside the record literal, charging a cache
+     hit during *reporting* — and since OCaml leaves record-field
+     evaluation order unspecified, [sim_time_s] may or may not have
+     included that charge.) *)
+  let sim_time_s = Evaluator.clock state.evaluator in
+  let n_evals = Evaluator.n_evals state.evaluator in
   let best_config, best_value = state.best in
+  let best_perf =
+    match Evaluator.peek state.evaluator best_config with
+    | Some (_, perf) -> perf
+    | None ->
+        (* Only reachable for externally [absorb]ed points that never
+           went through the evaluator; the snapshots above keep even
+           this fallback out of the reported accounting. *)
+        Evaluator.perf_of state.evaluator best_config
+  in
   {
     method_name;
     best_config;
     best_value;
-    best_perf = Evaluator.perf_of state.evaluator best_config;
+    best_perf;
     history = List.rev state.samples;
-    n_evals = Evaluator.n_evals state.evaluator;
-    sim_time_s = Evaluator.clock state.evaluator;
+    n_evals;
+    sim_time_s;
   }
 
 (* Simulated time at which a run first reached [fraction] of its final

@@ -49,10 +49,12 @@ val evaluate_batch :
 val init : Evaluator.t -> Ft_schedule.Config.t list -> state
 
 (** Default initial H: the naive config, the generic per-hardware
-    heuristic points (unless [heuristics] is false), and [n] random
-    points. *)
+    heuristic points (unless [heuristics] is false), [n] random
+    points, then the [extra] warm-start points (default none) —
+    appended last so the RNG stream does not depend on them. *)
 val seed_points :
   ?heuristics:bool ->
+  ?extra:Ft_schedule.Config.t list ->
   Ft_util.Rng.t -> Ft_schedule.Space.t -> int -> Ft_schedule.Config.t list
 
 val finish : method_name:string -> state -> result

@@ -79,6 +79,11 @@ let measure_full t cfg =
 let measure t cfg = fst (measure_full t cfg)
 let perf_of t cfg = snd (measure_full t cfg)
 
+(* Cache lookup for result assembly: unlike [measure_full], charges
+   nothing and bumps no counter, so reporting never perturbs the
+   simulated clock or the telemetry. *)
+let peek t cfg = Hashtbl.find_opt t.cache (Ft_schedule.Config.key cfg)
+
 (* -- Batched evaluation ---------------------------------------------
 
    [prepare] runs the pure cost-model queries of a candidate list on

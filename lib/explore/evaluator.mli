@@ -43,6 +43,11 @@ val measure_full : t -> Ft_schedule.Config.t -> float * Ft_hw.Perf.t
 (** Full model result for a point (measures it if new). *)
 val perf_of : t -> Ft_schedule.Config.t -> Ft_hw.Perf.t
 
+(** Non-charging cache peek: the value and model result of a point if
+    it has been measured, touching neither the clock nor any counter.
+    For assembling results — never a substitute for {!measure}. *)
+val peek : t -> Ft_schedule.Config.t -> (float * Ft_hw.Perf.t) option
+
 (** A prepared batch: cost-model results computed in parallel but not
     yet committed to the cache, eval count, or clock. *)
 type batch

@@ -7,11 +7,15 @@
    loop for any [-j]. *)
 
 let search ?(seed = 2020) ?(n_trials = 60) ?(n_starts = 4) ?(gamma = 2.0)
-    ?(explore_prob = 0.15) ?max_evals ?(heuristic_seeds = true) ?flops_scale
-    ?mode ?n_parallel ?pool space =
+    ?(explore_prob = 0.15) ?max_evals ?(heuristic_seeds = true)
+    ?(transfer_seeds = []) ?flops_scale ?mode ?n_parallel ?pool space =
   let rng = Ft_util.Rng.create seed in
   let evaluator = Evaluator.create ?flops_scale ?mode ?n_parallel ?pool space in
-  let state = Driver.init evaluator (Driver.seed_points ~heuristics:heuristic_seeds rng space 4) in
+  let state =
+    Driver.init evaluator
+      (Driver.seed_points ~heuristics:heuristic_seeds ~extra:transfer_seeds rng
+         space 4)
+  in
   let out_of_budget () =
     match max_evals with
     | Some cap -> Evaluator.n_evals evaluator >= cap

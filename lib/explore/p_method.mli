@@ -9,6 +9,7 @@ val search :
   ?explore_prob:float ->
   ?max_evals:int ->
   ?heuristic_seeds:bool ->
+  ?transfer_seeds:Ft_schedule.Config.t list ->
   ?flops_scale:float ->
   ?mode:Evaluator.mode ->
   ?n_parallel:int ->

@@ -39,10 +39,15 @@ let kill walk reason =
 
 let search ?(seed = 2020) ?(n_trials = 60) ?(n_starts = 4) ?(steps = 5)
     ?(gamma = 2.0) ?(explore_prob = 0.15) ?(epsilon = 0.3) ?max_evals
-    ?(heuristic_seeds = true) ?flops_scale ?mode ?n_parallel ?pool space =
+    ?(heuristic_seeds = true) ?(transfer_seeds = []) ?flops_scale ?mode
+    ?n_parallel ?pool space =
   let rng = Ft_util.Rng.create seed in
   let evaluator = Evaluator.create ?flops_scale ?mode ?n_parallel ?pool space in
-  let state = Driver.init evaluator (Driver.seed_points ~heuristics:heuristic_seeds rng space 4) in
+  let state =
+    Driver.init evaluator
+      (Driver.seed_points ~heuristics:heuristic_seeds ~extra:transfer_seeds rng
+         space 4)
+  in
   let directions = Array.of_list (Ft_schedule.Neighborhood.directions space) in
   let agent =
     Ft_qlearn.Agent.create ~epsilon (Ft_util.Rng.split rng)

@@ -11,6 +11,7 @@ val search :
   ?epsilon:float ->
   ?max_evals:int ->
   ?heuristic_seeds:bool ->
+  ?transfer_seeds:Ft_schedule.Config.t list ->
   ?flops_scale:float ->
   ?mode:Evaluator.mode ->
   ?n_parallel:int ->

@@ -5,6 +5,7 @@ val search :
   ?n_trials:int ->
   ?max_evals:int ->
   ?heuristic_seeds:bool ->
+  ?transfer_seeds:Ft_schedule.Config.t list ->
   ?flops_scale:float ->
   ?mode:Evaluator.mode ->
   ?n_parallel:int ->

@@ -31,24 +31,42 @@ let parse_factors text =
            Array.of_list (List.map int_of_string (String.split_on_char ',' axis)))
          (String.split_on_char ';' text))
 
+let known_keys = [ "s"; "r"; "o"; "u"; "f"; "v"; "i"; "p" ]
+
+(* Strict tokenization: every whitespace-separated token must be a
+   [known=value] assignment, each key exactly once.  A truncated or
+   hand-edited log line must fail loudly here — the old
+   first-assoc-match parse silently accepted duplicate keys, unknown
+   keys, and trailing garbage, and so could hand back a schedule the
+   log never contained. *)
 let field fields key =
   match List.assoc_opt key fields with
   | Some value -> value
   | None -> failwith (Printf.sprintf "missing field %s" key)
 
+let parse_fields text =
+  let tokens =
+    List.filter
+      (fun token -> not (String.equal token ""))
+      (String.split_on_char ' ' (String.trim text))
+  in
+  List.fold_left
+    (fun fields token ->
+      match String.index_opt token '=' with
+      | None -> failwith (Printf.sprintf "stray token %S" token)
+      | Some i ->
+          let key = String.sub token 0 i in
+          let value = String.sub token (i + 1) (String.length token - i - 1) in
+          if not (List.mem key known_keys) then
+            failwith (Printf.sprintf "unknown field %S" key)
+          else if List.mem_assoc key fields then
+            failwith (Printf.sprintf "duplicate field %S" key)
+          else (key, value) :: fields)
+    [] tokens
+
 let of_string text =
   match
-    let fields =
-      List.filter_map
-        (fun part ->
-          match String.index_opt part '=' with
-          | Some i ->
-              Some
-                ( String.sub part 0 i,
-                  String.sub part (i + 1) (String.length part - i - 1) )
-          | None -> None)
-        (String.split_on_char ' ' (String.trim text))
-    in
+    let fields = parse_fields text in
     {
       Config.spatial = parse_factors (field fields "s");
       reduce = parse_factors (field fields "r");
@@ -62,6 +80,7 @@ let of_string text =
   with
   | cfg -> Ok cfg
   | exception Failure msg -> Error ("Config_io.of_string: " ^ msg)
+  | exception Invalid_argument msg -> Error ("Config_io.of_string: " ^ msg)
 
 let of_string_exn text =
   match of_string text with Ok cfg -> cfg | Error msg -> invalid_arg msg

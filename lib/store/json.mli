@@ -1,0 +1,33 @@
+(** Minimal JSON values for the tuning-log records.
+
+    The repo deliberately has no external JSON dependency; `ft_obs`
+    only ever writes JSON, while the store must also read back what it
+    (or a hand editor) wrote, so this module carries the small
+    reader/writer pair the log format needs. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(** Compact one-line rendering.  Floats print with enough digits
+    ([%.17g]) to round-trip bit-for-bit; non-finite floats render as
+    [null] (JSON has no literal for them). *)
+val to_string : t -> string
+
+(** Parse one JSON value; trailing non-whitespace is an error.  Errors
+    carry the character position. *)
+val of_string : string -> (t, string) result
+
+(** Object field lookup (first match); [None] on non-objects. *)
+val member : string -> t -> t option
+
+(** Typed accessors; [Error] names the expected type. *)
+val to_num : t -> (float, string) result
+
+val to_int : t -> (int, string) result
+val to_str : t -> (string, string) result
+val to_int_list : t -> (int list, string) result

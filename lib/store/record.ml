@@ -1,0 +1,104 @@
+type key = {
+  graph : string;
+  op : string;
+  target : string;
+  spatial : int list;
+  reduce : int list;
+}
+
+type t = {
+  key : key;
+  method_name : string;
+  seed : int;
+  best_value : float;
+  sim_time_s : float;
+  n_evals : int;
+  config : string;
+}
+
+let key_of_space (space : Ft_schedule.Space.t) =
+  {
+    graph = space.graph.Ft_ir.Op.graph_name;
+    op = space.node.Ft_ir.Op.tag;
+    target = Ft_schedule.Target.name space.target;
+    spatial = Array.to_list space.spatial_extents;
+    reduce = Array.to_list space.reduce_extents;
+  }
+
+let key_equal a b =
+  String.equal a.graph b.graph
+  && String.equal a.op b.op
+  && String.equal a.target b.target
+  && a.spatial = b.spatial && a.reduce = b.reduce
+
+let same_operator a b =
+  String.equal a.op b.op
+  && String.equal a.target b.target
+  && List.length a.spatial = List.length b.spatial
+  && List.length a.reduce = List.length b.reduce
+
+(* Shapes live on a multiplicative scale (a 2x larger extent matters
+   the same at every size), hence log2 before the L2 norm. *)
+let shape_distance a b =
+  if not (same_operator a b) then infinity
+  else
+    let log2 n = log (float_of_int (max 1 n)) /. log 2. in
+    let sq acc ea eb =
+      let d = log2 ea -. log2 eb in
+      acc +. (d *. d)
+    in
+    sqrt
+      (List.fold_left2 sq
+         (List.fold_left2 sq 0. a.spatial b.spatial)
+         a.reduce b.reduce)
+
+let to_json r =
+  Json.to_string
+    (Json.Obj
+       [
+         ("graph", Json.Str r.key.graph);
+         ("op", Json.Str r.key.op);
+         ("target", Json.Str r.key.target);
+         ("spatial", Json.Arr (List.map (fun i -> Json.Num (float_of_int i)) r.key.spatial));
+         ("reduce", Json.Arr (List.map (fun i -> Json.Num (float_of_int i)) r.key.reduce));
+         ("method", Json.Str r.method_name);
+         ("seed", Json.Num (float_of_int r.seed));
+         ("best", Json.Num r.best_value);
+         ("sim_time_s", Json.Num r.sim_time_s);
+         ("n_evals", Json.Num (float_of_int r.n_evals));
+         ("config", Json.Str r.config);
+       ])
+
+let field value name convert =
+  match Json.member name value with
+  | None -> Error (Printf.sprintf "missing field %S" name)
+  | Some v -> (
+      match convert v with
+      | Ok _ as ok -> ok
+      | Error msg -> Error (Printf.sprintf "field %S: %s" name msg))
+
+let ( let* ) = Result.bind
+
+let of_json line =
+  let* value = Json.of_string line in
+  let* graph = field value "graph" Json.to_str in
+  let* op = field value "op" Json.to_str in
+  let* target = field value "target" Json.to_str in
+  let* spatial = field value "spatial" Json.to_int_list in
+  let* reduce = field value "reduce" Json.to_int_list in
+  let* method_name = field value "method" Json.to_str in
+  let* seed = field value "seed" Json.to_int in
+  let* best_value = field value "best" Json.to_num in
+  let* sim_time_s = field value "sim_time_s" Json.to_num in
+  let* n_evals = field value "n_evals" Json.to_int in
+  let* config = field value "config" Json.to_str in
+  Ok
+    {
+      key = { graph; op; target; spatial; reduce };
+      method_name;
+      seed;
+      best_value;
+      sim_time_s;
+      n_evals;
+      config;
+    }

@@ -1,0 +1,114 @@
+type issue = { line : int; reason : string }
+
+type t = {
+  store_path : string option;
+  mutable recs : Record.t list;  (* reverse chronological *)
+  mutable probs : issue list;  (* reverse file order *)
+}
+
+(* One buffered write flushed on close per record: combined with
+   O_APPEND this keeps concurrent appenders from interleaving within a
+   line, so the only possible corruption is a torn final line — which
+   tolerant loading then skips. *)
+let append_line path line =
+  let oc = open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc line;
+      output_char oc '\n')
+
+let load_lines path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let rec go acc =
+          match input_line ic with
+          | line -> go (line :: acc)
+          | exception End_of_file -> List.rev acc
+        in
+        go [])
+  end
+
+let create ?path () =
+  let store = { store_path = path; recs = []; probs = [] } in
+  (match path with
+  | None -> ()
+  | Some path ->
+      List.iteri
+        (fun i line ->
+          if String.trim line <> "" then
+            match Record.of_json line with
+            | Ok r -> store.recs <- r :: store.recs
+            | Error reason -> store.probs <- { line = i + 1; reason } :: store.probs)
+        (load_lines path));
+  store
+
+let load path = create ~path ()
+
+let path t = t.store_path
+let records t = List.rev t.recs
+let issues t = List.rev t.probs
+let length t = List.length t.recs
+
+let add t record =
+  t.recs <- record :: t.recs;
+  Option.iter (fun path -> append_line path (Record.to_json record)) t.store_path
+
+let method_ok method_name (r : Record.t) =
+  match method_name with
+  | None -> true
+  | Some m -> String.equal m r.method_name
+
+(* Chronological fold with a strict > keeps the earliest of equal-value
+   records, so reloading a log never changes which entry wins. *)
+let best_exact ?method_name t key =
+  List.fold_left
+    (fun acc (r : Record.t) ->
+      if not (Record.key_equal r.key key && method_ok method_name r) then acc
+      else
+        match acc with
+        | Some (best : Record.t) when best.best_value >= r.best_value -> acc
+        | Some _ | None -> Some r)
+    None (records t)
+
+let nearest ?method_name ?(limit = 3) t key =
+  (* Best record per distinct neighboring shape. *)
+  let by_shape : (string, Record.t) Hashtbl.t = Hashtbl.create 16 in
+  let shape_id (k : Record.key) =
+    String.concat ","
+      (List.map string_of_int k.spatial @ ("|" :: List.map string_of_int k.reduce))
+  in
+  List.iter
+    (fun (r : Record.t) ->
+      if
+        Record.same_operator r.key key
+        && (not (Record.key_equal r.key key))
+        && method_ok method_name r
+      then begin
+        let id = shape_id r.key in
+        match Hashtbl.find_opt by_shape id with
+        | Some best when best.best_value >= r.best_value -> ()
+        | Some _ | None -> Hashtbl.replace by_shape id r
+      end)
+    (records t);
+  let candidates = Hashtbl.fold (fun _ r acc -> r :: acc) by_shape [] in
+  let ranked =
+    List.sort
+      (fun (a : Record.t) (b : Record.t) ->
+        let da = Record.shape_distance a.key key
+        and db = Record.shape_distance b.key key in
+        match compare da db with
+        | 0 -> (
+            (* Equidistant shapes: higher value first, then a stable
+               textual key so the ranking is deterministic. *)
+            match compare b.best_value a.best_value with
+            | 0 -> compare (shape_id a.key) (shape_id b.key)
+            | c -> c)
+        | c -> c)
+      candidates
+  in
+  List.filteri (fun i _ -> i < limit) ranked

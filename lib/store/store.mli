@@ -1,0 +1,49 @@
+(** Persistent schedule repository: an append-only JSONL tuning log
+    (one {!Record.t} per line), in the spirit of AutoTVM's tophub logs.
+
+    Invariants:
+    - appends are atomic at line granularity ([O_APPEND], one buffered
+      write flushed per record), so a crashed or concurrent writer can
+      at worst leave one torn final line;
+    - loading is tolerant: malformed lines are skipped and reported
+      via {!issues}, never raised;
+    - the store NEVER feeds back into search randomness — reads and
+      writes consume no search RNG, so logging leaves results
+      bit-for-bit unchanged (DESIGN.md §9). *)
+
+type t
+
+(** A skipped log line. *)
+type issue = { line : int;  (** 1-based line number *) reason : string }
+
+(** [create ()] is an in-memory store; [create ~path ()] loads [path]
+    if it exists (a missing file is an empty store) and appends every
+    subsequent {!add} to it. *)
+val create : ?path:string -> unit -> t
+
+(** [load path] = [create ~path ()]. *)
+val load : string -> t
+
+val path : t -> string option
+
+(** Records in chronological (file) order. *)
+val records : t -> Record.t list
+
+(** Malformed lines skipped while loading, in file order. *)
+val issues : t -> issue list
+
+val length : t -> int
+
+(** Append one record to memory and (when backed) to the log file. *)
+val add : t -> Record.t -> unit
+
+(** Best (highest [best_value]) record whose key matches exactly;
+    [method_name] restricts to records produced by that search
+    method.  Earliest record wins ties. *)
+val best_exact : ?method_name:string -> t -> Record.key -> Record.t option
+
+(** Up to [limit] (default 3) transfer candidates for a key: records
+    for the {!Record.same_operator} problem on a *different* shape,
+    one per distinct shape (each shape's best record), ranked by
+    {!Record.shape_distance}. *)
+val nearest : ?method_name:string -> ?limit:int -> t -> Record.key -> Record.t list

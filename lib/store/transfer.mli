@@ -1,0 +1,27 @@
+(** Cross-shape schedule transfer (warm starts).
+
+    A schedule tuned for one shape rarely belongs to another shape's
+    space verbatim (split factors must multiply to the new extents),
+    but its *structure* — relative tile sizes, loop order, knobs — is
+    the valuable part.  [refit] projects a config onto a new space by
+    choosing, per axis, the divisible factorization closest to the old
+    one in log space; [seeds] turns a store's exact and nearest-shape
+    records into extra initial points for {!Ft_explore.Driver}. *)
+
+(** [refit space cfg] is the member of [space] structurally closest to
+    [cfg], or [None] when the loop ranks do not match.  A config
+    already valid in [space] refits to itself. *)
+val refit :
+  Ft_schedule.Space.t -> Ft_schedule.Config.t -> Ft_schedule.Config.t option
+
+(** [seeds store space] parses, refits and validates stored schedules
+    for [space]'s problem: exact-key records first, then up to [limit]
+    (default 3) nearest-shape records, deduplicated.  Malformed or
+    non-transferable records are silently dropped — warm-starting must
+    never fail a search.  Consumes no RNG. *)
+val seeds :
+  ?method_name:string ->
+  ?limit:int ->
+  Store.t ->
+  Ft_schedule.Space.t ->
+  Ft_schedule.Config.t list

@@ -54,6 +54,24 @@ let test_count_occurrences () =
   let _, _, c7 = List.find (fun (name, _, _) -> name = "C7") distinct in
   check_int "C7 repeats 4x" 4 c7
 
+(* Regression: dedup used to key by name alone and silently keep the
+   first graph, so a name collision between two different shapes
+   dropped a layer's real latency.  It must refuse instead. *)
+let test_count_occurrences_name_collision () =
+  let other =
+    Ft_ir.Operators.conv2d ~batch:1 ~in_channels:4 ~out_channels:3 ~height:5
+      ~width:5 ~kernel:3 ~pad:1 ()
+  in
+  check_bool "same graph under one name is fine" true
+    (match Ft_dnn.Runner.count_occurrences [ ("L", tiny_conv); ("L", tiny_conv) ] with
+    | [ (_, _, 2) ] -> true
+    | _ -> false);
+  Alcotest.check_raises "differing graphs refuse"
+    (Invalid_argument
+       "Runner.count_occurrences: layer name \"L\" stands for two different \
+        graphs") (fun () ->
+      ignore (Ft_dnn.Runner.count_occurrences [ ("L", tiny_conv); ("L", other) ]))
+
 let test_single_layer_run () =
   let layers = [ ("L", tiny_conv, 2) ] in
   let result =
@@ -114,6 +132,8 @@ let () =
       ( "runner",
         [
           Alcotest.test_case "occurrence counting" `Quick test_count_occurrences;
+          Alcotest.test_case "name collision" `Quick
+            test_count_occurrences_name_collision;
           Alcotest.test_case "single layer" `Quick test_single_layer_run;
           Alcotest.test_case "fusion helps" `Quick test_fusion_beats_unfused;
         ] );

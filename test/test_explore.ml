@@ -194,6 +194,76 @@ let test_driver_rejects_empty_init () =
     (Invalid_argument "Driver.init: need at least one initial point") (fun () ->
       ignore (Ft_explore.Driver.init evaluator []))
 
+(* Regression: [peek] must never charge the clock or bump counters —
+   it exists so that reporting can look up a cached measurement
+   without polluting the accounting the way [perf_of] does. *)
+let test_peek_does_not_charge () =
+  let space = gemm_space () in
+  let evaluator = Ft_explore.Evaluator.create space in
+  let cfg = Space.default_config space in
+  check_bool "unmeasured peek is None" true
+    (Ft_explore.Evaluator.peek evaluator cfg = None);
+  Alcotest.(check (float 0.)) "miss did not charge" 0.
+    (Ft_explore.Evaluator.clock evaluator);
+  let value = Ft_explore.Evaluator.measure evaluator cfg in
+  let clock = Ft_explore.Evaluator.clock evaluator in
+  let n = Ft_explore.Evaluator.n_evals evaluator in
+  (match Ft_explore.Evaluator.peek evaluator cfg with
+  | Some (v, _) -> Alcotest.(check (float 0.)) "peek sees cached value" value v
+  | None -> Alcotest.fail "measured config not peekable");
+  Alcotest.(check (float 0.)) "peek did not charge" clock
+    (Ft_explore.Evaluator.clock evaluator);
+  Alcotest.(check int) "peek did not count" n
+    (Ft_explore.Evaluator.n_evals evaluator)
+
+(* Regression: [finish] used to call [Evaluator.perf_of] while
+   assembling the result record, charging a reporting-time cache hit
+   whose inclusion in [sim_time_s] depended on unspecified record
+   evaluation order.  The report must equal the pre-finish clock
+   exactly, and finishing must not move the evaluator's clock. *)
+let test_finish_leaves_clock_untouched () =
+  let space = gemm_space () in
+  let evaluator = Ft_explore.Evaluator.create space in
+  let state = Ft_explore.Driver.init evaluator [ Space.default_config space ] in
+  let rng = Ft_util.Rng.create 7 in
+  for _ = 1 to 5 do
+    ignore (Ft_explore.Driver.evaluate state (Space.random_config rng space))
+  done;
+  let clock = Ft_explore.Evaluator.clock evaluator in
+  let n = Ft_explore.Evaluator.n_evals evaluator in
+  let result = Ft_explore.Driver.finish ~method_name:"test" state in
+  Alcotest.(check (float 0.)) "report equals pre-finish clock" clock
+    result.sim_time_s;
+  Alcotest.(check int) "report equals pre-finish count" n result.n_evals;
+  Alcotest.(check (float 0.)) "finish did not charge" clock
+    (Ft_explore.Evaluator.clock evaluator);
+  Alcotest.(check int) "finish did not count" n
+    (Ft_explore.Evaluator.n_evals evaluator)
+
+(* Even when the best point was absorbed from outside the evaluator
+   (so [finish] must fall back to [perf_of]), the *reported* clock and
+   count are snapshots taken before the fallback. *)
+let test_finish_snapshot_covers_absorbed_best () =
+  let space = gemm_space () in
+  let evaluator = Ft_explore.Evaluator.create space in
+  let state = Ft_explore.Driver.init evaluator [ Space.default_config space ] in
+  let rng = Ft_util.Rng.create 11 in
+  let outside =
+    let rec fresh () =
+      let cfg = Space.random_config rng space in
+      if Ft_explore.Driver.seen state cfg then fresh () else cfg
+    in
+    fresh ()
+  in
+  Ft_explore.Driver.visit state outside;
+  ignore (Ft_explore.Driver.absorb state outside 1e9);
+  let clock = Ft_explore.Evaluator.clock evaluator in
+  let n = Ft_explore.Evaluator.n_evals evaluator in
+  let result = Ft_explore.Driver.finish ~method_name:"test" state in
+  Alcotest.(check (float 0.)) "report clock is the snapshot" clock
+    result.sim_time_s;
+  Alcotest.(check int) "report count is the snapshot" n result.n_evals
+
 let () =
   Alcotest.run "ft_explore"
     [
@@ -203,6 +273,14 @@ let () =
           Alcotest.test_case "hardware cost" `Quick test_evaluator_charges_hardware_cost;
           Alcotest.test_case "model cost" `Quick test_evaluator_model_mode_cheap;
           Alcotest.test_case "mode defaults" `Quick test_fpga_defaults_to_model;
+          Alcotest.test_case "peek does not charge" `Quick test_peek_does_not_charge;
+        ] );
+      ( "finish accounting",
+        [
+          Alcotest.test_case "clock untouched" `Quick
+            test_finish_leaves_clock_untouched;
+          Alcotest.test_case "absorbed best" `Quick
+            test_finish_snapshot_covers_absorbed_best;
         ] );
       ( "methods",
         [

@@ -207,6 +207,21 @@ let test_config_io_errors () =
   check_bool "wrong space rejected" true
     (Result.is_error (Config_io.of_string_for space text))
 
+(* The strict parser: a truncated or hand-edited log line must fail
+   loudly instead of silently yielding a schedule the log never
+   contained. *)
+let test_config_io_strict () =
+  let good = Config_io.to_string (Space.default_config (gemm_space Target.v100)) in
+  check_bool "well-formed accepted" true (Result.is_ok (Config_io.of_string good));
+  check_bool "duplicate field rejected" true
+    (Result.is_error (Config_io.of_string (good ^ " o=2")));
+  check_bool "unknown field rejected" true
+    (Result.is_error (Config_io.of_string (good ^ " z=1")));
+  check_bool "trailing garbage rejected" true
+    (Result.is_error (Config_io.of_string (good ^ " garbage")));
+  check_bool "non-numeric value rejected" true
+    (Result.is_error (Config_io.of_string "s=4,x r=2 o=0 u=0 f=0 v=0 i=0 p=0"))
+
 let test_cap_threads_on_awkward_extents () =
   (* T3D output 111 = 3 x 37 used to force 37x37 = 1369 threads. *)
   let graph =
@@ -237,6 +252,39 @@ let qcheck_random_config_valid =
       let rng = Ft_util.Rng.create seed in
       let space = conv_space Target.v100 in
       Space.valid space (Space.random_config rng space))
+
+(* Serialization round-trip over random configs from random spaces —
+   the tuning log depends on [of_string (to_string cfg) = Ok cfg]. *)
+let qcheck_config_io_roundtrip =
+  QCheck.Test.make ~name:"config_io roundtrip" ~count:200
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Ft_util.Rng.create seed in
+      let graph =
+        match Ft_util.Rng.int rng 3 with
+        | 0 ->
+            Ft_ir.Operators.gemm
+              ~m:(16 * (1 + Ft_util.Rng.int rng 8))
+              ~n:(8 * (1 + Ft_util.Rng.int rng 8))
+              ~k:(4 * (1 + Ft_util.Rng.int rng 8))
+        | 1 ->
+            Ft_ir.Operators.conv2d ~batch:1
+              ~in_channels:(4 * (1 + Ft_util.Rng.int rng 4))
+              ~out_channels:(8 * (1 + Ft_util.Rng.int rng 4))
+              ~height:(6 + Ft_util.Rng.int rng 10)
+              ~width:(6 + Ft_util.Rng.int rng 10)
+              ~kernel:3 ~pad:1 ()
+        | _ ->
+            Ft_ir.Operators.gemv
+              ~m:(16 * (1 + Ft_util.Rng.int rng 16))
+              ~k:(4 * (1 + Ft_util.Rng.int rng 16))
+      in
+      let target = Ft_util.Rng.choose rng all_targets in
+      let space = Space.make graph target in
+      let cfg = Space.random_config rng space in
+      match Config_io.of_string (Config_io.to_string cfg) with
+      | Ok parsed -> Config.equal cfg parsed
+      | Error _ -> false)
 
 let () =
   Alcotest.run "ft_schedule"
@@ -273,6 +321,8 @@ let () =
         [
           Alcotest.test_case "roundtrip" `Quick test_config_io_roundtrip;
           Alcotest.test_case "errors" `Quick test_config_io_errors;
+          Alcotest.test_case "strict parse" `Quick test_config_io_strict;
+          QCheck_alcotest.to_alcotest qcheck_config_io_roundtrip;
         ] );
       ( "heuristics",
         [
