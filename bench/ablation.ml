@@ -10,22 +10,27 @@ let layers = [ "C2"; "C7"; "C13" ]
 
 let graph_of name = Ft_workloads.Yolo.graph (Ft_workloads.Yolo.find name)
 
+(* One column per *registered* method — a method added to the registry
+   shows up here with no edit. *)
 let methods_at_equal_budget () =
   Bench_common.subsection "search methods at an equal budget (200 evals, V100)";
+  let methods = Ft_explore.Method.list () in
   let rows =
     List.map
       (fun name ->
-        let space = Space.make (graph_of name) Target.v100 in
-        let q = Ft_explore.Q_method.search ~seed:Bench_common.seed ~n_trials:10_000 ~max_evals:200 space in
-        let p = Ft_explore.P_method.search ~seed:Bench_common.seed ~n_trials:10_000 ~max_evals:200 space in
-        let r = Ft_explore.Random_method.search ~seed:Bench_common.seed ~n_trials:10_000 ~max_evals:200 space in
-        let a = Ft_baselines.Autotvm.search ~seed:Bench_common.seed ~n_rounds:24 ~max_evals:200 space in
-        [ name; Bench_common.fmt_gf q.best_value; Bench_common.fmt_gf p.best_value;
-          Bench_common.fmt_gf r.best_value; Bench_common.fmt_gf a.best_value ])
+        let graph = graph_of name in
+        name
+        :: List.map
+             (fun (m : Ft_explore.Method.t) ->
+               Bench_common.fmt_gf
+                 (Bench_common.search_method ~max_evals:200 m.name graph
+                    Target.v100)
+                   .best_value)
+             methods)
       layers
   in
   Ft_util.Table.print
-    ~header:[ "layer"; "Q-method"; "P-method"; "random"; "AutoTVM" ]
+    ~header:("layer" :: List.map (fun (m : Ft_explore.Method.t) -> m.name) methods)
     rows
 
 let heuristic_seeding () =
@@ -33,14 +38,13 @@ let heuristic_seeding () =
   let rows =
     List.map
       (fun name ->
-        let space = Space.make (graph_of name) Target.v100 in
         let with_seeds =
-          Ft_explore.Q_method.search ~seed:Bench_common.seed ~n_trials:10_000
-            ~max_evals:200 space
+          Bench_common.search_method ~max_evals:200 "Q-method" (graph_of name)
+            Target.v100
         in
         let without =
-          Ft_explore.Q_method.search ~seed:Bench_common.seed ~n_trials:10_000
-            ~max_evals:200 ~heuristic_seeds:false space
+          Bench_common.search_method ~max_evals:200 ~heuristic_seeds:false
+            "Q-method" (graph_of name) Target.v100
         in
         [ name; Bench_common.fmt_gf with_seeds.best_value;
           Bench_common.fmt_gf without.best_value ])
@@ -55,8 +59,8 @@ let inlining () =
       (fun name ->
         let space = Space.make (graph_of name) Target.v100 in
         let best =
-          (Ft_explore.Q_method.search ~seed:Bench_common.seed ~n_trials:10_000
-             ~max_evals:200 space)
+          (Bench_common.search_method ~max_evals:200 "Q-method" (graph_of name)
+             Target.v100)
             .best_config
         in
         let value inline =
@@ -75,8 +79,8 @@ let order_templates () =
       (fun name ->
         let space = Space.make (graph_of name) Target.v100 in
         let best =
-          (Ft_explore.Q_method.search ~seed:Bench_common.seed ~n_trials:10_000
-             ~max_evals:200 space)
+          (Bench_common.search_method ~max_evals:200 "Q-method" (graph_of name)
+             Target.v100)
             .best_config
         in
         let values =
@@ -96,13 +100,12 @@ let walk_depth () =
   let rows =
     List.map
       (fun name ->
-        let space = Space.make (graph_of name) Target.v100 in
         name
         :: List.map
              (fun steps ->
                Bench_common.fmt_gf
-                 (Ft_explore.Q_method.search ~seed:Bench_common.seed ~steps
-                    ~n_trials:10_000 ~max_evals:240 space)
+                 (Bench_common.search_method ~max_evals:240 ~steps "Q-method"
+                    (graph_of name) Target.v100)
                    .best_value)
              [ 1; 2; 5; 10 ])
       ("C14" :: layers)
@@ -120,10 +123,9 @@ let walk_depth () =
 let vector_width_adaptation () =
   Bench_common.subsection "tuned vectorization length per instruction set";
   let tuned_vec target name =
-    let space = Space.make (graph_of name) target in
     let best =
-      (Ft_explore.Q_method.search ~seed:Bench_common.seed ~n_trials:10_000
-         ~max_evals:300 space)
+      (Bench_common.search_method ~max_evals:300 "Q-method" (graph_of name)
+         target)
         .best_config
     in
     let last = best.Config.spatial.(Array.length best.Config.spatial - 1) in

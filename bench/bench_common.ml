@@ -8,6 +8,10 @@ let seed = 2020
 let search_evals = 350
 let autotvm_rounds = 20
 
+(* Benches resolve methods by registry name; the AutoTVM entries are
+   registered from the baselines library, which must be linked. *)
+let () = Ft_baselines.Autotvm.ensure_registered ()
+
 let gpu_targets = Target.[ v100; p100; titan_x ]
 
 let section title =
@@ -17,14 +21,29 @@ let subsection title = Printf.printf "\n-- %s --\n" title
 
 let fmt_gf = Ft_util.Table.fmt_float ~digits:1
 
+(* Run any registered method by name at the harness budgets: an
+   effectively unlimited trial count bounded by the measurement
+   budget. *)
+let search_method ?(n_trials = 10_000) ?max_evals ?(heuristic_seeds = true)
+    ?(steps = Ft_explore.Search_loop.default_params.steps) name graph target =
+  let space = Space.make graph target in
+  (Ft_explore.Method.find_exn name).search
+    {
+      Ft_explore.Search_loop.default_params with
+      seed;
+      n_trials;
+      max_evals;
+      heuristic_seeds;
+      steps;
+    }
+    space
+
 (* Best FlexTensor (Q-method) performance value on a graph. *)
 let flextensor_search ?(max_evals = search_evals) graph target =
-  let space = Space.make graph target in
-  Ft_explore.Q_method.search ~seed ~n_trials:10_000 ~max_evals space
+  search_method ~max_evals "Q-method" graph target
 
 let autotvm_search ?(rounds = autotvm_rounds) graph target =
-  let space = Space.make graph target in
-  Ft_baselines.Autotvm.search ~seed ~n_rounds:rounds space
+  search_method ~n_trials:rounds "AutoTVM" graph target
 
 (* Library baseline perf value for a graph on a GPU target, following
    the paper's comparison rules: cuDNN for convolutions, cuBLAS for the

@@ -94,8 +94,7 @@ let fig6c () =
    performance, and compare the (simulated) exploration times. *)
 let exploration_times (l : Ft_workloads.Yolo.layer) =
   let graph = Ft_workloads.Yolo.graph l in
-  let space = Space.make graph Target.v100 in
-  let atvm = Ft_baselines.Autotvm.search ~seed:Bench_common.seed ~n_rounds:24 space in
+  let atvm = Bench_common.search_method ~n_trials:24 "AutoTVM" graph Target.v100 in
   (* "similar performance" (§6.5): within 5% of AutoTVM's converged
      best; a run that never gets there is charged its full time. *)
   let reach (result : Ft_explore.Driver.result) =
@@ -108,12 +107,12 @@ let exploration_times (l : Ft_workloads.Yolo.layer) =
     go result.history
   in
   let q =
-    Ft_explore.Q_method.search ~seed:Bench_common.seed ~n_trials:10_000
-      ~max_evals:600 ~heuristic_seeds:false space
+    Bench_common.search_method ~max_evals:600 ~heuristic_seeds:false "Q-method"
+      graph Target.v100
   in
   let p =
-    Ft_explore.P_method.search ~seed:Bench_common.seed ~n_trials:10_000
-      ~max_evals:600 ~heuristic_seeds:false space
+    Bench_common.search_method ~max_evals:600 ~heuristic_seeds:false "P-method"
+      graph Target.v100
   in
   (atvm, reach q, reach p, q, p)
 

@@ -23,17 +23,16 @@ let run () =
   List.iter
     (fun name ->
       let graph = Ft_workloads.Yolo.graph (Ft_workloads.Yolo.find name) in
-      let space = Space.make graph Target.v100 in
       let q =
-        Ft_explore.Q_method.search ~seed:Bench_common.seed ~n_trials:10_000
-          ~max_evals:400 ~heuristic_seeds:false space
+        Bench_common.search_method ~max_evals:400 ~heuristic_seeds:false
+          "Q-method" graph Target.v100
       in
       let p =
-        Ft_explore.P_method.search ~seed:Bench_common.seed ~n_trials:10_000
-          ~max_evals:400 ~heuristic_seeds:false space
+        Bench_common.search_method ~max_evals:400 ~heuristic_seeds:false
+          "P-method" graph Target.v100
       in
       let atvm =
-        Ft_baselines.Autotvm.search ~seed:Bench_common.seed ~n_rounds:24 space
+        Bench_common.search_method ~n_trials:24 "AutoTVM" graph Target.v100
       in
       print_string
         (Ft_util.Chart.series ~digits:0

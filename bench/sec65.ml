@@ -25,17 +25,16 @@ let vs_autotvm () =
         let speedups =
           List.map
             (fun (case : Ft_workloads.Suites.case) ->
-              let space = Space.make case.graph Target.v100 in
               let ft =
                 Bench_common.flextensor_search ~max_evals:800 case.graph Target.v100
               in
               let old_t =
-                Ft_baselines.Autotvm.search ~seed:Bench_common.seed ~n_rounds:40
-                  ~template:`Paper_era space
+                Bench_common.search_method ~n_trials:40 "AutoTVM-2019"
+                  case.graph Target.v100
               in
               let new_t =
-                Ft_baselines.Autotvm.search ~seed:Bench_common.seed ~n_rounds:40
-                  ~template:`Divisor space
+                Bench_common.search_method ~n_trials:40 "AutoTVM" case.graph
+                  Target.v100
               in
               (ft.best_value /. old_t.best_value, ft.best_value /. new_t.best_value))
             (cases_of abbr)
@@ -86,20 +85,12 @@ let final_performance () =
   List.iter
     (fun name ->
       let graph = Ft_workloads.Yolo.graph (Ft_workloads.Yolo.find name) in
-      let space = Space.make graph Target.v100 in
       let atvm =
-        Ft_baselines.Autotvm.search ~seed:Bench_common.seed ~n_rounds:40
-          ~template:`Paper_era space
+        Bench_common.search_method ~n_trials:40 "AutoTVM-2019" graph Target.v100
       in
       (* converged production settings for both methods *)
-      let q =
-        Ft_explore.Q_method.search ~seed:Bench_common.seed ~n_trials:10_000
-          ~max_evals:1500 space
-      in
-      let p =
-        Ft_explore.P_method.search ~seed:Bench_common.seed ~n_trials:10_000
-          ~max_evals:1500 space
-      in
+      let q = Bench_common.search_method ~max_evals:1500 "Q-method" graph Target.v100 in
+      let p = Bench_common.search_method ~max_evals:1500 "P-method" graph Target.v100 in
       p_r := (p.best_value /. atvm.best_value) :: !p_r;
       q_r := (q.best_value /. atvm.best_value) :: !q_r)
     layers;

@@ -4,8 +4,8 @@
 
 let run_network name run_fn =
   Bench_common.subsection name;
-  let (ft : Ft_dnn.Runner.network_result) = run_fn Ft_dnn.Runner.Flextensor_q in
-  let (atvm : Ft_dnn.Runner.network_result) = run_fn Ft_dnn.Runner.Autotvm_baseline in
+  let (ft : Ft_dnn.Runner.network_result) = run_fn "Q-method" in
+  let (atvm : Ft_dnn.Runner.network_result) = run_fn "AutoTVM" in
   Ft_util.Table.print
     ~header:[ "layer"; "count"; "FlexTensor ms"; "AutoTVM ms" ]
     (List.map2
@@ -52,7 +52,6 @@ let run () =
   Bench_common.subsection "Schedule reuse (tuning-log warm start)";
   warm_rerun "OverFeat" (fun ~store ->
       Ft_dnn.Runner.overfeat ~seed:Bench_common.seed
-        ~max_evals:Bench_common.search_evals ~store ~target
-        Ft_dnn.Runner.Flextensor_q);
+        ~max_evals:Bench_common.search_evals ~store ~target "Q-method");
   Printf.printf "\npaper: YOLO-v1 1.07x, OverFeat 1.39x; measured: %s / %s\n"
     (Ft_util.Table.fmt_ratio yolo) (Ft_util.Table.fmt_ratio overfeat)

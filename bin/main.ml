@@ -131,14 +131,26 @@ let finish_trace () =
   end;
   Flextensor.Trace.close ()
 
+(* --method choices come from the registry: every method is selectable
+   by its short key or its stable name (both map to the name).  A key
+   equal to a name ("random") appears once. *)
 let method_arg =
-  let method_conv =
-    Arg.enum
-      [ ("q", Flextensor.Q_learning); ("p", Flextensor.P_exhaustive);
-        ("random", Flextensor.Random_walk) ]
+  let methods = Flextensor.Method.list () in
+  let alternatives =
+    List.fold_left
+      (fun acc (k, v) -> if List.mem_assoc k acc then acc else acc @ [ (k, v) ])
+      []
+      (List.concat_map
+         (fun (m : Flextensor.Method.t) -> [ (m.key, m.name); (m.name, m.name) ])
+         methods)
   in
-  Arg.(value & opt method_conv Flextensor.Q_learning & info [ "m"; "method" ]
-         ~docv:"METHOD" ~doc:"Search method: q, p, random")
+  let doc =
+    Printf.sprintf "Search method: %s (see $(b,flextensor methods))"
+      (String.concat ", "
+         (List.map (fun (m : Flextensor.Method.t) -> m.key) methods))
+  in
+  Arg.(value & opt (Arg.enum alternatives) "Q-method" & info [ "m"; "method" ]
+         ~docv:"METHOD" ~doc)
 
 let log_arg =
   Arg.(value & opt (some string) None & info [ "log" ] ~docv:"FILE"
@@ -220,7 +232,7 @@ let optimize_cmd =
             ~fields:
               [ ("op", Str op);
                 ("target", Str (Flextensor.Target.name target));
-                ("method", Str (Flextensor.search_name search));
+                ("method", Str search);
                 ("seed", Int seed);
                 ("trials", Int trials) ]
             (fun () -> Flextensor.optimize ~options ?store ~reuse graph target)
@@ -261,7 +273,7 @@ let replay_cmd =
         let store = open_store log in
         let space = Flextensor.Space.make graph target in
         let key = Flextensor.Store_record.key_of_space space in
-        let method_name = Flextensor.search_name search in
+        let method_name = search in
         match Flextensor.Store.best_exact ~method_name store key with
         | None ->
             Printf.eprintf "error: no %s record for %s on %s in %s\n"
@@ -340,6 +352,28 @@ let verify_cmd =
     Term.(const run $ op_arg $ dims_arg $ target_arg $ seed_arg $ trials_arg
           $ jobs_arg)
 
+let methods_cmd =
+  let quiet_arg =
+    Arg.(value & flag & info [ "q"; "quiet" ]
+           ~doc:"Print only the stable method names, one per line (for \
+                 scripting).")
+  in
+  let run quiet =
+    let methods = Flextensor.Method.list () in
+    if quiet then
+      List.iter (fun (m : Flextensor.Method.t) -> print_endline m.name) methods
+    else
+      Ft_util.Table.print ~header:[ "key"; "method"; "description" ]
+        (List.map
+           (fun (m : Flextensor.Method.t) -> [ m.key; m.name; m.description ])
+           methods)
+  in
+  Cmd.v
+    (Cmd.info "methods"
+       ~doc:"List the registered search methods (usable with $(b,optimize \
+             -m); names are stable tuning-log keys)")
+    Term.(const run $ quiet_arg)
+
 let compare_cmd =
   let run op dims target seed trials jobs =
     with_graph op dims (fun graph ->
@@ -401,4 +435,5 @@ let () =
        (Cmd.group ~default
           (Cmd.info "flextensor" ~version:"1.0.0"
              ~doc:"Automatic schedule exploration for tensor computation")
-          [ analyze_cmd; space_cmd; optimize_cmd; schedule_cmd; verify_cmd; compare_cmd ]))
+          [ analyze_cmd; space_cmd; optimize_cmd; schedule_cmd; verify_cmd;
+            compare_cmd; methods_cmd ]))

@@ -25,8 +25,8 @@ let () =
   let target = Ft_schedule.Target.v100 in
   let max_evals = 150 in
   show
-    (Ft_dnn.Runner.yolo_v1 ~max_evals ~target Ft_dnn.Runner.Flextensor_q)
-    (Ft_dnn.Runner.yolo_v1 ~max_evals ~target Ft_dnn.Runner.Autotvm_baseline);
+    (Ft_dnn.Runner.yolo_v1 ~max_evals ~target "Q-method")
+    (Ft_dnn.Runner.yolo_v1 ~max_evals ~target "AutoTVM");
   show
-    (Ft_dnn.Runner.overfeat ~max_evals ~target Ft_dnn.Runner.Flextensor_q)
-    (Ft_dnn.Runner.overfeat ~max_evals ~target Ft_dnn.Runner.Autotvm_baseline)
+    (Ft_dnn.Runner.overfeat ~max_evals ~target "Q-method")
+    (Ft_dnn.Runner.overfeat ~max_evals ~target "AutoTVM")

@@ -148,68 +148,121 @@ let mutate ?(template = `Divisor) rng (space : Space.t) knobs =
 let training_cost = 2.0
 let scoring_cost_per_candidate = 0.0002
 
+(* The search itself as a [Search_loop] policy: each trial is one
+   AutoTVM round (refit the GBT model, propose a population, rank,
+   measure a batch).  H is seeded with random template instantiations
+   instead of the schedule-space heuristics — AutoTVM never sees the
+   full space — and warm-start transfer seeds are appended after all
+   RNG draws, exactly as the other methods do. *)
+let policy ~template ~batch ~population : (module Ft_explore.Search_loop.POLICY)
+    =
+  (module struct
+    type t = { mutable knob_pool : knobs list }
+
+    let method_name =
+      match template with `Divisor -> "AutoTVM" | `Paper_era -> "AutoTVM-2019"
+
+    let seeds (p : Ft_explore.Search_loop.params) rng space =
+      List.init (max 2 batch) (fun _ ->
+          to_config space (random_knobs ~template rng space))
+      @ p.transfer_seeds
+
+    let create (ctx : Ft_explore.Search_loop.ctx) =
+      {
+        knob_pool =
+          List.init batch (fun _ -> random_knobs ~template ctx.rng ctx.space);
+      }
+
+    let trial t (ctx : Ft_explore.Search_loop.ctx) ~index =
+      let { Ft_explore.Search_loop.rng; space; evaluator; state; out_of_budget; _ }
+          =
+        ctx
+      in
+      Ft_explore.Search_loop.trial_span ~key:"autotvm" ~index (fun () ->
+          (* Retrain the cost model on everything measured so far. *)
+          let xs =
+            Array.of_list
+              (List.map (fun (cfg, _) -> Space.features space cfg) state.evaluated)
+          in
+          let ys = Array.of_list (List.map snd state.evaluated) in
+          let model = Ft_gbt.Boost.fit ~rounds:12 ~depth:3 xs ys in
+          if Ft_obs.Trace.active () then
+            Ft_obs.Trace.event "gbt.train" [ ("points", Int (Array.length xs)) ];
+          Ft_explore.Evaluator.charge evaluator training_cost;
+          (* Annealing proposal: a population of mutations of previous knob
+             settings plus fresh random templates, ranked by the model. *)
+          let proposals =
+            List.init population (fun i ->
+                if i mod 2 = 0 || t.knob_pool = [] then
+                  random_knobs ~template rng space
+                else mutate ~template rng space (Ft_util.Rng.choose rng t.knob_pool))
+          in
+          Ft_explore.Evaluator.charge evaluator
+            (float_of_int population *. scoring_cost_per_candidate);
+          let scored =
+            List.map
+              (fun knobs ->
+                let cfg = to_config space knobs in
+                (knobs, cfg, Ft_gbt.Boost.predict model (Space.features space cfg)))
+              proposals
+          in
+          let ranked = List.sort (fun (_, _, a) (_, _, b) -> compare b a) scored in
+          let fresh =
+            List.filter
+              (fun (_, cfg, _) -> not (Ft_explore.Driver.seen state cfg))
+              ranked
+          in
+          let chosen = List.filteri (fun i _ -> i < batch) fresh in
+          (* The round's measurement batch runs on the domain pool — the
+             AutoTVM workflow the paper compares against measures its
+             per-round candidates concurrently. *)
+          ignore
+            (Ft_explore.Driver.evaluate_batch ~should_stop:out_of_budget state
+               (List.map (fun (_, cfg, _) -> cfg) chosen));
+          t.knob_pool <- List.map (fun (knobs, _, _) -> knobs) chosen @ t.knob_pool);
+      1
+  end)
+
+let search_params ?(template = `Divisor) ?(batch = 8) ?(population = 128) params
+    space =
+  Ft_explore.Search_loop.run (policy ~template ~batch ~population) params space
+
 let search ?(seed = 2020) ?(n_rounds = 16) ?(batch = 8) ?(population = 128)
     ?(template = `Divisor) ?max_evals ?flops_scale ?mode ?n_parallel ?pool
     (space : Space.t) =
-  let rng = Ft_util.Rng.create seed in
-  let evaluator =
-    Ft_explore.Evaluator.create ?flops_scale ?mode ?n_parallel ?pool space
-  in
-  let initial =
-    List.init (max 2 batch) (fun _ -> to_config space (random_knobs ~template rng space))
-  in
-  let state = Ft_explore.Driver.init evaluator initial in
-  let knob_pool = ref (List.init batch (fun _ -> random_knobs ~template rng space)) in
-  let out_of_budget () =
-    match max_evals with
-    | Some cap -> Ft_explore.Evaluator.n_evals evaluator >= cap
-    | None -> false
-  in
-  let round = ref 0 in
-  while !round < n_rounds && not (out_of_budget ()) do
-    incr round;
-    Ft_obs.Trace.with_span "trial"
-      ~fields:[ ("method", Str "autotvm"); ("index", Int !round) ]
-      (fun () ->
-        (* Retrain the cost model on everything measured so far. *)
-        let xs =
-          Array.of_list
-            (List.map (fun (cfg, _) -> Space.features space cfg) state.evaluated)
-        in
-        let ys = Array.of_list (List.map snd state.evaluated) in
-        let model = Ft_gbt.Boost.fit ~rounds:12 ~depth:3 xs ys in
-        if Ft_obs.Trace.active () then
-          Ft_obs.Trace.event "gbt.train" [ ("points", Int (Array.length xs)) ];
-        Ft_explore.Evaluator.charge evaluator training_cost;
-        (* Annealing proposal: a population of mutations of previous knob
-           settings plus fresh random templates, ranked by the model. *)
-        let proposals =
-          List.init population (fun i ->
-              if i mod 2 = 0 || !knob_pool = [] then random_knobs ~template rng space
-              else mutate ~template rng space (Ft_util.Rng.choose rng !knob_pool))
-        in
-        Ft_explore.Evaluator.charge evaluator
-          (float_of_int population *. scoring_cost_per_candidate);
-        let scored =
-          List.map
-            (fun knobs ->
-              let cfg = to_config space knobs in
-              (knobs, cfg, Ft_gbt.Boost.predict model (Space.features space cfg)))
-            proposals
-        in
-        let ranked = List.sort (fun (_, _, a) (_, _, b) -> compare b a) scored in
-        let fresh =
-          List.filter
-            (fun (_, cfg, _) -> not (Ft_explore.Driver.seen state cfg))
-            ranked
-        in
-        let chosen = List.filteri (fun i _ -> i < batch) fresh in
-        (* The round's measurement batch runs on the domain pool — the
-           AutoTVM workflow the paper compares against measures its
-           per-round candidates concurrently. *)
-        ignore
-          (Ft_explore.Driver.evaluate_batch ~should_stop:out_of_budget state
-             (List.map (fun (_, cfg, _) -> cfg) chosen));
-        knob_pool := List.map (fun (knobs, _, _) -> knobs) chosen @ !knob_pool)
-  done;
-  Ft_explore.Driver.finish ~method_name:"AutoTVM" state
+  search_params ~template ~batch ~population
+    {
+      Ft_explore.Search_loop.default_params with
+      seed;
+      n_trials = n_rounds;
+      max_evals;
+      flops_scale;
+      mode;
+      n_parallel;
+      pool;
+    }
+    space
+
+(* Referencing this from a consumer forces the module (and so the
+   registrations below) to be linked; see [Ft_explore.Method]. *)
+let ensure_registered () = ()
+
+let () =
+  Ft_explore.Method.register
+    {
+      key = "autotvm";
+      name = "AutoTVM";
+      description =
+        "template-restricted GBT-guided tuning (mainline divisor-knob \
+         templates)";
+      search = (fun p space -> search_params ~template:`Divisor p space);
+    };
+  Ft_explore.Method.register
+    {
+      key = "autotvm-2019";
+      name = "AutoTVM-2019";
+      description =
+        "AutoTVM with the paper-era 2019 templates (no virtual threading, \
+         snapped knobs)";
+      search = (fun p space -> search_params ~template:`Paper_era p space);
+    }

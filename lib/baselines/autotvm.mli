@@ -14,6 +14,19 @@ type template = [ `Divisor | `Paper_era ]
     comparison). Default [`Divisor]. *)
 val template_size : ?template:template -> Ft_schedule.Space.t -> float
 
+(** The registry entry points ("AutoTVM" with [`Divisor] templates,
+    "AutoTVM-2019" with [`Paper_era]): run on an explicit parameter
+    record; [params.n_trials] is the round count.  H is seeded with
+    [max 2 batch] random template instantiations (never the
+    schedule-space heuristics), then any [params.transfer_seeds]. *)
+val search_params :
+  ?template:template ->
+  ?batch:int ->
+  ?population:int ->
+  Ft_explore.Search_loop.params ->
+  Ft_schedule.Space.t ->
+  Ft_explore.Driver.result
+
 val search :
   ?seed:int ->
   ?n_rounds:int ->
@@ -27,3 +40,9 @@ val search :
   ?pool:Ft_par.Pool.t ->
   Ft_schedule.Space.t ->
   Ft_explore.Driver.result
+
+(** No-op whose reference forces this module to be linked, so the
+    top-level registrations of "AutoTVM"/"AutoTVM-2019" in
+    {!Ft_explore.Method} actually run.  Call it (or reference any
+    other value here) before resolving those names. *)
+val ensure_registered : unit -> unit

@@ -24,8 +24,22 @@ module Config_io = Ft_schedule.Config_io
 module Store = Ft_store.Store
 module Store_record = Ft_store.Record
 module Transfer = Ft_store.Transfer
+module Method = Ft_explore.Method
+module Search_loop = Ft_explore.Search_loop
 
+(* The AutoTVM registrations live in [Ft_baselines.Autotvm]; reference
+   the module here so it is linked (and they run) for every consumer of
+   this facade. *)
+let () = Ft_baselines.Autotvm.ensure_registered ()
+
+(* Deprecated shim for the pre-registry closed variant; use the
+   registered method names ({!Method.list}) instead. *)
 type search_method = Q_learning | P_exhaustive | Random_walk
+
+let search_name = function
+  | Q_learning -> "Q-method"
+  | P_exhaustive -> "P-method"
+  | Random_walk -> "random"
 
 type options = {
   seed : int;
@@ -35,7 +49,7 @@ type options = {
   gamma : float;
   max_evals : int option;
   restarts : int;  (* independent searches; the best result wins *)
-  search : search_method;
+  search : string;  (* registered method name or CLI key (Method.find) *)
   flops_scale : float;
   n_parallel : int;  (* simulated measurement devices (clock model) *)
 }
@@ -49,7 +63,7 @@ let default_options =
     gamma = 2.0;
     max_evals = None;
     restarts = 1;
-    search = Q_learning;
+    search = "Q-method";
     flops_scale = 1.0;
     n_parallel = 1;
   }
@@ -75,37 +89,35 @@ type report = {
   provenance : provenance;
 }
 
-let search_name = function
-  | Q_learning -> "Q-method"
-  | P_exhaustive -> "P-method"
-  | Random_walk -> "random"
+let params_of_options options ~transfer seed =
+  {
+    Search_loop.default_params with
+    seed;
+    n_trials = options.n_trials;
+    n_starts = options.n_starts;
+    steps = options.steps;
+    gamma = options.gamma;
+    max_evals = options.max_evals;
+    transfer_seeds = transfer;
+    flops_scale = Some options.flops_scale;
+    n_parallel = Some options.n_parallel;
+  }
 
-let run_one_search options ~transfer seed space =
-  let n_parallel = options.n_parallel in
-  match options.search with
-  | Q_learning ->
-      Ft_explore.Q_method.search ~seed ~n_trials:options.n_trials
-        ~n_starts:options.n_starts ~steps:options.steps ~gamma:options.gamma
-        ?max_evals:options.max_evals ~transfer_seeds:transfer
-        ~flops_scale:options.flops_scale ~n_parallel space
-  | P_exhaustive ->
-      Ft_explore.P_method.search ~seed ~n_trials:options.n_trials
-        ~n_starts:options.n_starts ~gamma:options.gamma
-        ?max_evals:options.max_evals ~transfer_seeds:transfer
-        ~flops_scale:options.flops_scale ~n_parallel space
-  | Random_walk ->
-      Ft_explore.Random_method.search ~seed
-        ~n_trials:(options.n_trials * options.n_starts)
-        ?max_evals:options.max_evals ~transfer_seeds:transfer
-        ~flops_scale:options.flops_scale ~n_parallel space
+let run_one_search (m : Method.t) options ~transfer seed space =
+  m.search (params_of_options options ~transfer seed) space
 
 (* Rugged landscapes reward independent restarts; results are merged by
-   keeping the best run and summing the exploration accounting. *)
-let run_search options ~transfer space =
+   keeping the best run's schedule, summing the exploration accounting,
+   and concatenating the best-so-far timelines on one cumulative clock
+   (each restart's samples are offset by the preceding restarts'
+   simulated time and eval counts, with the best-value curve made
+   monotone across the joins) — so [time_to_reach] on a merged result
+   compares like against like. *)
+let run_search (m : Method.t) options ~transfer space =
   let restarts = max 1 options.restarts in
   let runs =
     List.init restarts (fun i ->
-        run_one_search options ~transfer (options.seed + (i * 57)) space)
+        run_one_search m options ~transfer (options.seed + (i * 57)) space)
   in
   match runs with
   | [] -> assert false
@@ -116,8 +128,32 @@ let run_search options ~transfer space =
             if run.best_value > acc.best_value then run else acc)
           first rest
       in
+      let history =
+        let _, _, _, rev_samples =
+          List.fold_left
+            (fun (t0, e0, running_best, acc) (r : Driver.result) ->
+              let running_best, acc =
+                List.fold_left
+                  (fun (rb, acc) (s : Driver.sample) ->
+                    let rb = Float.max rb s.best_value in
+                    ( rb,
+                      {
+                        Driver.at_s = s.at_s +. t0;
+                        n_evals = s.n_evals + e0;
+                        best_value = rb;
+                      }
+                      :: acc ))
+                  (running_best, acc) r.history
+              in
+              (t0 +. r.sim_time_s, e0 + r.n_evals, running_best, acc))
+            (0., 0, Float.neg_infinity, [])
+            runs
+        in
+        List.rev rev_samples
+      in
       {
         best with
+        history;
         n_evals = List.fold_left (fun acc (r : Driver.result) -> acc + r.n_evals) 0 runs;
         sim_time_s =
           List.fold_left (fun acc (r : Driver.result) -> acc +. r.sim_time_s) 0. runs;
@@ -162,7 +198,8 @@ let record_of_result space method_name seed (result : Driver.result) =
 let optimize ?(options = default_options) ?store ?(reuse = false) graph target =
   let graph = Op.validate_exn graph in
   let space = Space.make graph target in
-  let method_name = search_name options.search in
+  let m = Method.find_exn options.search in
+  let method_name = m.Method.name in
   let key = Store_record.key_of_space space in
   let exact_hit =
     if not reuse then None
@@ -189,7 +226,7 @@ let optimize ?(options = default_options) ?store ?(reuse = false) graph target =
         | Some s when reuse -> Transfer.seeds ~method_name s space
         | _ -> []
       in
-      let result = run_search options ~transfer space in
+      let result = run_search m options ~transfer space in
       (match store with
       | Some s ->
           Store.add s (record_of_result space method_name options.seed result)

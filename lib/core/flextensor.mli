@@ -57,7 +57,26 @@ module Store_record = Ft_store.Record
 (** Cross-shape schedule transfer (warm starts) ({!Ft_store.Transfer}). *)
 module Transfer = Ft_store.Transfer
 
+(** The search-method registry ({!Ft_explore.Method}): all back-ends —
+    Q-method, P-method, random, CD-method, AutoTVM, AutoTVM-2019, plus
+    anything registered by the application — selectable by name in
+    {!options.search}.  Loading this facade guarantees the built-ins
+    and the AutoTVM baselines are registered. *)
+module Method = Ft_explore.Method
+
+(** The shared search scaffolding and its parameter record
+    ({!Ft_explore.Search_loop}) — what a registered method's [search]
+    receives. *)
+module Search_loop = Ft_explore.Search_loop
+
+(** @deprecated The pre-registry closed method variant, kept as a shim:
+    convert with {!search_name} and use the string in
+    {!options.search}.  New methods appear only in the registry. *)
 type search_method = Q_learning | P_exhaustive | Random_walk
+
+(** Stable registered name of a shim variant ("Q-method" / "P-method" /
+    "random"). *)
+val search_name : search_method -> string
 
 type options = {
   seed : int;
@@ -67,7 +86,9 @@ type options = {
   gamma : float;  (** annealing selectivity *)
   max_evals : int option;  (** hard measurement budget (per restart) *)
   restarts : int;  (** independent searches; the best result wins *)
-  search : search_method;
+  search : string;
+      (** a registered method name or CLI key ({!Method.find});
+          [optimize] raises [Invalid_argument] for unknown names *)
   flops_scale : float;  (** compute-FLOP scale (algorithmic factors) *)
   n_parallel : int;
       (** simulated measurement devices: the clock charges batched
@@ -99,8 +120,6 @@ type report = {
   history : Driver.sample list;
   provenance : provenance;
 }
-
-val search_name : search_method -> string
 
 (** Optimize a tensor computation for a target.  Validates the graph,
     generates the schedule space, explores it, and returns the best

@@ -1,9 +1,14 @@
 (* End-to-end DNN optimization (§6.6): partition the network into
    convolution sub-graphs with fused element-wise epilogues, optimize
    each distinct layer once with the chosen method, and sum per-layer
-   latencies over the full layer sequence. *)
+   latencies over the full layer sequence.
 
-type optimizer = Flextensor_q | Autotvm_baseline
+   The optimizer is any registered search method, selected by name
+   ([Ft_explore.Method]); "Q-method" is displayed as "FlexTensor" in
+   network results, matching the paper's tables. *)
+
+(* Make sure the AutoTVM registrations are linked for name lookups. *)
+let () = Ft_baselines.Autotvm.ensure_registered ()
 
 type layer_time = {
   layer_name : string;
@@ -20,26 +25,25 @@ type network_result = {
   reused_layers : int;
 }
 
-let optimizer_name = function
-  | Flextensor_q -> "FlexTensor"
-  | Autotvm_baseline -> "AutoTVM"
-
-(* Store records are keyed per search method, so AutoTVM runs never
-   pick up FlexTensor schedules (and vice versa). *)
-let method_name = function
-  | Flextensor_q -> "Q-method"
-  | Autotvm_baseline -> "AutoTVM"
+(* The paper brands the Q-method end-to-end runs "FlexTensor". *)
+let optimizer_name optimizer =
+  match (Ft_explore.Method.find_exn optimizer).name with
+  | "Q-method" -> "FlexTensor"
+  | name -> name
 
 (* Optimize one layer, consulting the tuning log first when one is
    given: an exact hit for the same method reapplies the logged
    schedule through the cost model (the search clock never starts); a
    miss searches and appends the result.  Returns the kernel time and
-   whether the schedule came from the log. *)
+   whether the schedule came from the log.  Store records are keyed
+   per search method, so AutoTVM runs never pick up FlexTensor
+   schedules (and vice versa). *)
 let optimize_layer ?(seed = 2020) ?(max_evals = 250) ?store optimizer target
     graph =
+  let m = Ft_explore.Method.find_exn optimizer in
   let space = Ft_schedule.Space.make graph target in
   let key = Ft_store.Record.key_of_space space in
-  let method_name = method_name optimizer in
+  let method_name = m.Ft_explore.Method.name in
   let logged =
     match store with
     | None -> None
@@ -57,11 +61,14 @@ let optimize_layer ?(seed = 2020) ?(max_evals = 250) ?store optimizer target
       (perf.Ft_hw.Perf.time_s, true)
   | None ->
       let result =
-        match optimizer with
-        | Flextensor_q ->
-            Ft_explore.Q_method.search ~seed ~n_trials:1000 ~max_evals space
-        | Autotvm_baseline ->
-            Ft_baselines.Autotvm.search ~seed ~n_rounds:1000 ~max_evals space
+        m.Ft_explore.Method.search
+          {
+            Ft_explore.Search_loop.default_params with
+            seed;
+            n_trials = 1000;
+            max_evals = Some max_evals;
+          }
+          space
       in
       Option.iter
         (fun store ->

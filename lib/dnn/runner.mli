@@ -1,7 +1,8 @@
 (** End-to-end DNN latency under different operator optimizers
-    (§6.6). *)
-
-type optimizer = Flextensor_q | Autotvm_baseline
+    (§6.6).  The optimizer is any registered search method, selected
+    by its stable name or CLI key ({!Ft_explore.Method.find}) —
+    "Q-method" (the paper's FlexTensor runs), "AutoTVM", "CD-method",
+    …  Unknown names raise [Invalid_argument]. *)
 
 type layer_time = {
   layer_name : string;
@@ -18,14 +19,17 @@ type network_result = {
   reused_layers : int;  (** distinct layers satisfied from the tuning log *)
 }
 
-val optimizer_name : optimizer -> string
+(** Display name of a registered method in network results:
+    "Q-method" is branded "FlexTensor" (the paper's tables), every
+    other method keeps its registered name. *)
+val optimizer_name : string -> string
 
-(** Optimize one layer graph, consulting [store] first (exact-key hit
-    for the same search method → reapply the logged schedule, no
-    search) and appending the search result on a miss.  Returns
-    (predicted kernel seconds, came-from-log). *)
+(** Optimize one layer graph with the named method, consulting [store]
+    first (exact-key hit for the same search method → reapply the
+    logged schedule, no search) and appending the search result on a
+    miss.  Returns (predicted kernel seconds, came-from-log). *)
 val optimize_layer :
-  ?seed:int -> ?max_evals:int -> ?store:Ft_store.Store.t -> optimizer ->
+  ?seed:int -> ?max_evals:int -> ?store:Ft_store.Store.t -> string ->
   Ft_schedule.Target.t -> Ft_ir.Op.graph -> float * bool
 
 (** Deduplicate a layer sequence into (name, graph, count).  Raises
@@ -38,12 +42,12 @@ val count_occurrences :
 val run :
   ?seed:int -> ?max_evals:int -> ?fused:bool -> ?store:Ft_store.Store.t ->
   network:string -> target:Ft_schedule.Target.t ->
-  (string * Ft_ir.Op.graph * int) list -> optimizer -> network_result
+  (string * Ft_ir.Op.graph * int) list -> string -> network_result
 
 val yolo_v1 :
   ?seed:int -> ?max_evals:int -> ?fused:bool -> ?store:Ft_store.Store.t ->
-  target:Ft_schedule.Target.t -> optimizer -> network_result
+  target:Ft_schedule.Target.t -> string -> network_result
 
 val overfeat :
   ?seed:int -> ?max_evals:int -> ?fused:bool -> ?store:Ft_store.Store.t ->
-  target:Ft_schedule.Target.t -> optimizer -> network_result
+  target:Ft_schedule.Target.t -> string -> network_result

@@ -1,0 +1,53 @@
+(* Coordinate-descent fine-tuning: greedy single-knob descent from the
+   incumbent (the "raindrop" exploitation phase of Canesche et al.).
+   Each trial batch-evaluates every single-knob move away from the
+   current best schedule and adopts whichever wins; when no neighbor
+   is new (a local optimum, or one whose whole neighborhood has been
+   visited), it restarts from one uniform random point.  Commits stay
+   in the sequential neighbor order, so results are identical for any
+   pool size. *)
+
+module Policy = struct
+  type t = unit
+
+  let method_name = "CD-method"
+  let seeds = Search_loop.default_seeds
+  let create _ctx = ()
+
+  let trial () (ctx : Search_loop.ctx) ~index =
+    let { Search_loop.rng; space; state; out_of_budget; _ } = ctx in
+    Search_loop.trial_span ~key:"cd" ~index (fun () ->
+        let incumbent, _ = state.best in
+        let frontier =
+          List.map snd (Ft_schedule.Neighborhood.neighbors space incumbent)
+        in
+        let committed =
+          Driver.evaluate_batch ~should_stop:out_of_budget state frontier
+        in
+        (* Stuck at an exhausted incumbent: hop to a fresh random
+           point so descent can resume somewhere new. *)
+        if committed = [] && not (out_of_budget ()) then begin
+          let cfg = Ft_schedule.Space.random_config rng space in
+          if not (Driver.seen state cfg) then ignore (Driver.evaluate state cfg)
+        end);
+    1
+end
+
+let search_params params space = Search_loop.run (module Policy) params space
+
+let search ?(seed = 2020) ?(n_trials = 60) ?max_evals ?(heuristic_seeds = true)
+    ?(transfer_seeds = []) ?flops_scale ?mode ?n_parallel ?pool space =
+  search_params
+    {
+      Search_loop.default_params with
+      seed;
+      n_trials;
+      max_evals;
+      heuristic_seeds;
+      transfer_seeds;
+      flops_scale;
+      mode;
+      n_parallel;
+      pool;
+    }
+    space

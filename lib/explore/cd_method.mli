@@ -1,5 +1,6 @@
-(** The P-method baseline of §6.5: annealing starting points with
-    exhaustive direction evaluation (no Q-learning). *)
+(** Coordinate-descent fine-tuning: greedy single-knob descent from
+    the incumbent, with a uniform random hop whenever the incumbent's
+    whole neighborhood has already been visited. *)
 
 (** The registry entry point: run on an explicit parameter record. *)
 val search_params :
@@ -8,9 +9,6 @@ val search_params :
 val search :
   ?seed:int ->
   ?n_trials:int ->
-  ?n_starts:int ->
-  ?gamma:float ->
-  ?explore_prob:float ->
   ?max_evals:int ->
   ?heuristic_seeds:bool ->
   ?transfer_seeds:Ft_schedule.Config.t list ->

@@ -6,32 +6,24 @@
    the sequential visit order, so results match the point-by-point
    loop for any [-j]. *)
 
-let search ?(seed = 2020) ?(n_trials = 60) ?(n_starts = 4) ?(gamma = 2.0)
-    ?(explore_prob = 0.15) ?max_evals ?(heuristic_seeds = true)
-    ?(transfer_seeds = []) ?flops_scale ?mode ?n_parallel ?pool space =
-  let rng = Ft_util.Rng.create seed in
-  let evaluator = Evaluator.create ?flops_scale ?mode ?n_parallel ?pool space in
-  let state =
-    Driver.init evaluator
-      (Driver.seed_points ~heuristics:heuristic_seeds ~extra:transfer_seeds rng
-         space 4)
-  in
-  let out_of_budget () =
-    match max_evals with
-    | Some cap -> Evaluator.n_evals evaluator >= cap
-    | None -> false
-  in
-  let trial = ref 0 in
-  while !trial < n_trials && not (out_of_budget ()) do
-    incr trial;
-    Ft_obs.Trace.with_span "trial"
-      ~fields:[ ("method", Str "p"); ("index", Int !trial) ]
-      (fun () ->
-        if Ft_util.Rng.float rng 1.0 < explore_prob then begin
+module Policy = struct
+  type t = unit
+
+  let method_name = "P-method"
+  let seeds = Search_loop.default_seeds
+  let create _ctx = ()
+
+  let trial () (ctx : Search_loop.ctx) ~index =
+    let { Search_loop.params; rng; space; state; out_of_budget; _ } = ctx in
+    Search_loop.trial_span ~key:"p" ~index (fun () ->
+        if Ft_util.Rng.float rng 1.0 < params.explore_prob then begin
           let cfg = Ft_schedule.Space.random_config rng space in
           if not (Driver.seen state cfg) then ignore (Driver.evaluate state cfg)
         end;
-        let starts = Ft_anneal.Sa.select rng ~gamma ~count:n_starts state.evaluated in
+        let starts =
+          Ft_anneal.Sa.select rng ~gamma:params.gamma ~count:params.n_starts
+            state.evaluated
+        in
         Trace_util.sa_starts starts;
         let frontier =
           List.concat_map
@@ -39,6 +31,29 @@ let search ?(seed = 2020) ?(n_trials = 60) ?(n_starts = 4) ?(gamma = 2.0)
               List.map snd (Ft_schedule.Neighborhood.neighbors space cfg))
             starts
         in
-        ignore (Driver.evaluate_batch ~should_stop:out_of_budget state frontier))
-  done;
-  Driver.finish ~method_name:"P-method" state
+        ignore (Driver.evaluate_batch ~should_stop:out_of_budget state frontier));
+    1
+end
+
+let search_params params space = Search_loop.run (module Policy) params space
+
+let search ?(seed = 2020) ?(n_trials = 60) ?(n_starts = 4) ?(gamma = 2.0)
+    ?(explore_prob = 0.15) ?max_evals ?(heuristic_seeds = true)
+    ?(transfer_seeds = []) ?flops_scale ?mode ?n_parallel ?pool space =
+  search_params
+    {
+      Search_loop.default_params with
+      seed;
+      n_trials;
+      n_starts;
+      gamma;
+      explore_prob;
+      max_evals;
+      heuristic_seeds;
+      transfer_seeds;
+      flops_scale;
+      mode;
+      n_parallel;
+      pool;
+    }
+    space

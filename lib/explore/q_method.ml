@@ -37,32 +37,32 @@ let kill walk reason =
   if Ft_obs.Trace.active () then
     Ft_obs.Trace.event "q.walk_death" [ ("reason", Str reason) ]
 
-let search ?(seed = 2020) ?(n_trials = 60) ?(n_starts = 4) ?(steps = 5)
-    ?(gamma = 2.0) ?(explore_prob = 0.15) ?(epsilon = 0.3) ?max_evals
-    ?(heuristic_seeds = true) ?(transfer_seeds = []) ?flops_scale ?mode
-    ?n_parallel ?pool space =
-  let rng = Ft_util.Rng.create seed in
-  let evaluator = Evaluator.create ?flops_scale ?mode ?n_parallel ?pool space in
-  let state =
-    Driver.init evaluator
-      (Driver.seed_points ~heuristics:heuristic_seeds ~extra:transfer_seeds rng
-         space 4)
-  in
-  let directions = Array.of_list (Ft_schedule.Neighborhood.directions space) in
-  let agent =
-    Ft_qlearn.Agent.create ~epsilon (Ft_util.Rng.split rng)
-      ~feature_dim:(Ft_schedule.Space.feature_dim space)
-      ~n_actions:(Array.length directions)
-  in
-  let out_of_budget () =
-    match max_evals with
-    | Some cap -> Evaluator.n_evals evaluator >= cap
-    | None -> false
-  in
-  let features = Ft_schedule.Space.features space in
+module Policy = struct
+  type t = {
+    directions : Ft_schedule.Neighborhood.move array;
+    agent : Ft_qlearn.Agent.t;
+  }
+
+  let method_name = "Q-method"
+  let seeds = Search_loop.default_seeds
+
+  let create (ctx : Search_loop.ctx) =
+    let directions =
+      Array.of_list (Ft_schedule.Neighborhood.directions ctx.space)
+    in
+    let agent =
+      Ft_qlearn.Agent.create ~epsilon:ctx.params.epsilon
+        (Ft_util.Rng.split ctx.rng)
+        ~feature_dim:(Ft_schedule.Space.feature_dim ctx.space)
+        ~n_actions:(Array.length directions)
+    in
+    { directions; agent }
+
   (* One lockstep step of all live walks: select, batch-measure,
      learn. *)
-  let step_walks walks =
+  let step_walks { directions; agent } (ctx : Search_loop.ctx) walks =
+    let { Search_loop.space; evaluator; state; _ } = ctx in
+    let features = Ft_schedule.Space.features space in
     let proposals =
       List.filter_map
         (fun w ->
@@ -90,7 +90,7 @@ let search ?(seed = 2020) ?(n_trials = 60) ?(n_starts = 4) ?(steps = 5)
         walks
     in
     let committed =
-      Driver.evaluate_batch ~should_stop:out_of_budget state
+      Driver.evaluate_batch ~should_stop:ctx.out_of_budget state
         (List.map (fun (_, _, next) -> next) proposals)
     in
     let value_of = Hashtbl.create (List.length committed) in
@@ -128,32 +128,57 @@ let search ?(seed = 2020) ?(n_trials = 60) ?(n_starts = 4) ?(steps = 5)
             w.cfg <- next;
             w.value <- next_value)
       proposals
-  in
-  let trial = ref 0 in
-  while !trial < n_trials && not (out_of_budget ()) do
-    incr trial;
-    Ft_obs.Trace.with_span "trial"
-      ~fields:[ ("method", Str "q"); ("index", Int !trial) ]
-      (fun () ->
+
+  let trial t (ctx : Search_loop.ctx) ~index =
+    let { Search_loop.params; rng; space; state; out_of_budget; _ } = ctx in
+    Search_loop.trial_span ~key:"q" ~index (fun () ->
         (* Occasional uniform sample keeps the annealing pool from
            collapsing into one basin of the rugged landscape. *)
-        if Ft_util.Rng.float rng 1.0 < explore_prob then begin
+        if Ft_util.Rng.float rng 1.0 < params.explore_prob then begin
           let cfg = Ft_schedule.Space.random_config rng space in
           if not (Driver.seen state cfg) then ignore (Driver.evaluate state cfg)
         end;
-        let starts = Ft_anneal.Sa.select rng ~gamma ~count:n_starts state.evaluated in
+        let starts =
+          Ft_anneal.Sa.select rng ~gamma:params.gamma ~count:params.n_starts
+            state.evaluated
+        in
         Trace_util.sa_starts starts;
         let walks =
           List.map (fun (cfg, value) -> { cfg; value; alive = true }) starts
         in
         let step = ref 0 in
         while
-          !step < steps
+          !step < params.steps
           && (not (out_of_budget ()))
           && List.exists (fun w -> w.alive) walks
         do
           incr step;
-          step_walks walks
-        done)
-  done;
-  Driver.finish ~method_name:"Q-method" state
+          step_walks t ctx walks
+        done);
+    1
+end
+
+let search_params params space = Search_loop.run (module Policy) params space
+
+let search ?(seed = 2020) ?(n_trials = 60) ?(n_starts = 4) ?(steps = 5)
+    ?(gamma = 2.0) ?(explore_prob = 0.15) ?(epsilon = 0.3) ?max_evals
+    ?(heuristic_seeds = true) ?(transfer_seeds = []) ?flops_scale ?mode
+    ?n_parallel ?pool space =
+  search_params
+    {
+      Search_loop.seed;
+      n_trials;
+      n_starts;
+      steps;
+      gamma;
+      explore_prob;
+      epsilon;
+      max_evals;
+      heuristic_seeds;
+      transfer_seeds;
+      flops_scale;
+      mode;
+      n_parallel;
+      pool;
+    }
+    space

@@ -5,31 +5,39 @@
 
 let chunk_trials = 32
 
-let search ?(seed = 2020) ?(n_trials = 200) ?max_evals ?(heuristic_seeds = true)
-    ?(transfer_seeds = []) ?flops_scale ?mode ?n_parallel ?pool space =
-  let rng = Ft_util.Rng.create seed in
-  let evaluator = Evaluator.create ?flops_scale ?mode ?n_parallel ?pool space in
-  let state =
-    Driver.init evaluator
-      (Driver.seed_points ~heuristics:heuristic_seeds ~extra:transfer_seeds rng
-         space 4)
-  in
-  let out_of_budget () =
-    match max_evals with
-    | Some cap -> Evaluator.n_evals evaluator >= cap
-    | None -> false
-  in
-  let trial = ref 0 in
-  while !trial < n_trials && not (out_of_budget ()) do
-    let take = min chunk_trials (n_trials - !trial) in
-    let from = !trial + 1 in
-    trial := !trial + take;
-    Ft_obs.Trace.with_span "trial"
-      ~fields:[ ("method", Str "random"); ("index", Int from); ("n", Int take) ]
-      (fun () ->
+module Policy = struct
+  type t = unit
+
+  let method_name = "random"
+  let seeds = Search_loop.default_seeds
+  let create _ctx = ()
+
+  let trial () (ctx : Search_loop.ctx) ~index =
+    let { Search_loop.params; rng; space; state; out_of_budget; _ } = ctx in
+    let take = min chunk_trials (params.n_trials - (index - 1)) in
+    Search_loop.trial_span ~key:"random" ~index ~n:take (fun () ->
         let cfgs =
           List.init take (fun _ -> Ft_schedule.Space.random_config rng space)
         in
-        ignore (Driver.evaluate_batch ~should_stop:out_of_budget state cfgs))
-  done;
-  Driver.finish ~method_name:"random" state
+        ignore (Driver.evaluate_batch ~should_stop:out_of_budget state cfgs));
+    take
+end
+
+let search_params params space = Search_loop.run (module Policy) params space
+
+let search ?(seed = 2020) ?(n_trials = 200) ?max_evals ?(heuristic_seeds = true)
+    ?(transfer_seeds = []) ?flops_scale ?mode ?n_parallel ?pool space =
+  search_params
+    {
+      Search_loop.default_params with
+      seed;
+      n_trials;
+      max_evals;
+      heuristic_seeds;
+      transfer_seeds;
+      flops_scale;
+      mode;
+      n_parallel;
+      pool;
+    }
+    space

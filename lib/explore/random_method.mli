@@ -1,5 +1,12 @@
 (** Uniform random search — ablation floor. *)
 
+(** The registry entry point: run on an explicit parameter record.
+    [params.n_trials] is the literal number of random draws (the
+    registry adapter multiplies by [n_starts] to keep the historical
+    [optimize] budget). *)
+val search_params :
+  Search_loop.params -> Ft_schedule.Space.t -> Driver.result
+
 val search :
   ?seed:int ->
   ?n_trials:int ->

@@ -1,0 +1,115 @@
+(* The scaffolding every search method shares, extracted from what used
+   to be duplicated verbatim across the Q-, P-, random and AutoTVM
+   searches: RNG and evaluator creation, H seeding (with warm-start
+   transfer points appended last), the measurement-budget gate, the
+   traced trial loop, and result assembly via [Driver.finish].
+
+   A search method is a [POLICY]: it decides the initial H and what one
+   trial does (propose candidates, observe the committed values through
+   [Driver.state]); the loop owns everything else.  The extraction is
+   draw-for-draw faithful: for a given policy the RNG consumption, the
+   evaluation order, the clock charges and the emitted trace records
+   are exactly those of the pre-extraction hand-written loops. *)
+
+type params = {
+  seed : int;
+  n_trials : int;  (* trial budget; policies may consume several per call *)
+  n_starts : int;  (* SA starting points per trial (§5.1) *)
+  steps : int;  (* moves per starting point (Q-method walks) *)
+  gamma : float;  (* annealing selectivity *)
+  explore_prob : float;  (* per-trial uniform-sample probability *)
+  epsilon : float;  (* Q-agent exploration rate *)
+  max_evals : int option;  (* hard measurement budget *)
+  heuristic_seeds : bool;  (* include the per-hardware seed points in H *)
+  transfer_seeds : Ft_schedule.Config.t list;  (* warm-start points, appended last *)
+  flops_scale : float option;
+  mode : Evaluator.mode option;
+  n_parallel : int option;  (* simulated measurement devices (clock model) *)
+  pool : Ft_par.Pool.t option;  (* domain pool for batched evaluation *)
+}
+
+let default_params =
+  {
+    seed = 2020;
+    n_trials = 60;
+    n_starts = 4;
+    steps = 5;
+    gamma = 2.0;
+    explore_prob = 0.15;
+    epsilon = 0.3;
+    max_evals = None;
+    heuristic_seeds = true;
+    transfer_seeds = [];
+    flops_scale = None;
+    mode = None;
+    n_parallel = None;
+    pool = None;
+  }
+
+type ctx = {
+  params : params;
+  rng : Ft_util.Rng.t;
+  space : Ft_schedule.Space.t;
+  evaluator : Evaluator.t;
+  state : Driver.state;
+  out_of_budget : unit -> bool;
+}
+
+module type POLICY = sig
+  type t
+
+  (* Stable [Driver.result] method name; persisted in tuning logs, so
+     it must never be renamed (DESIGN.md §10). *)
+  val method_name : string
+
+  (* Initial H, drawn before [Driver.init]; most policies use
+     {!default_seeds}. *)
+  val seeds :
+    params -> Ft_util.Rng.t -> Ft_schedule.Space.t -> Ft_schedule.Config.t list
+
+  (* Policy state, built after H is seeded (so RNG draws here follow
+     the seeding draws, as the hand-written loops had it). *)
+  val create : ctx -> t
+
+  (* One traced trial at 1-based [index]; returns how many trial
+     indices it consumed (>= 1; chunked policies consume several). *)
+  val trial : t -> ctx -> index:int -> int
+end
+
+(* Default H: the naive point, the generic per-hardware heuristic
+   points, four random points, then the warm-start transfer points —
+   appended last so the RNG stream does not depend on them. *)
+let default_seeds (p : params) rng space =
+  Driver.seed_points ~heuristics:p.heuristic_seeds ~extra:p.transfer_seeds rng
+    space 4
+
+(* The per-trial telemetry span every method emits; [n] is for chunked
+   policies that cover several trial indices per span. *)
+let trial_span ~key ~index ?n f =
+  Ft_obs.Trace.with_span "trial"
+    ~fields:
+      (("method", Ft_obs.Trace.Str key)
+      :: ("index", Ft_obs.Trace.Int index)
+      :: (match n with None -> [] | Some n -> [ ("n", Ft_obs.Trace.Int n) ]))
+    f
+
+let run (module P : POLICY) params space =
+  let rng = Ft_util.Rng.create params.seed in
+  let evaluator =
+    Evaluator.create ?flops_scale:params.flops_scale ?mode:params.mode
+      ?n_parallel:params.n_parallel ?pool:params.pool space
+  in
+  let state = Driver.init evaluator (P.seeds params rng space) in
+  let out_of_budget () =
+    match params.max_evals with
+    | Some cap -> Evaluator.n_evals evaluator >= cap
+    | None -> false
+  in
+  let ctx = { params; rng; space; evaluator; state; out_of_budget } in
+  let policy = P.create ctx in
+  let trial = ref 0 in
+  while !trial < params.n_trials && not (out_of_budget ()) do
+    let consumed = P.trial policy ctx ~index:(!trial + 1) in
+    trial := !trial + max 1 consumed
+  done;
+  Driver.finish ~method_name:P.method_name state

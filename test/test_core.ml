@@ -43,16 +43,40 @@ let test_verify_through_api () =
   let report = Flextensor.optimize ~options graph Flextensor.Target.v100 in
   check_bool "verifies" true (Result.is_ok (Flextensor.verify report))
 
+(* Every *registered* method must be runnable through [optimize] — the
+   registry, not a hardcoded list, is the source of truth. *)
 let test_all_search_methods_through_api () =
   let graph = Flextensor.Operators.gemm ~m:64 ~n:64 ~k:64 in
   List.iter
-    (fun search ->
+    (fun (m : Flextensor.Method.t) ->
       let report =
-        Flextensor.optimize ~options:{ options with search } graph
-          Flextensor.Target.v100
+        Flextensor.optimize
+          ~options:{ options with search = m.name } graph Flextensor.Target.v100
       in
-      check_bool (Flextensor.search_name search ^ " works") true report.perf.valid)
-    [ Flextensor.Q_learning; Flextensor.P_exhaustive; Flextensor.Random_walk ]
+      check_bool (m.name ^ " works") true report.perf.valid)
+    (Flextensor.Method.list ())
+
+let test_unknown_method_rejected () =
+  let graph = Flextensor.Operators.gemm ~m:16 ~n:16 ~k:16 in
+  check_bool "raises" true
+    (try
+       ignore
+         (Flextensor.optimize
+            ~options:{ options with search = "no-such-method" }
+            graph Flextensor.Target.v100);
+       false
+     with Invalid_argument _ -> true)
+
+(* The deprecated variant shim still names the original methods. *)
+let test_search_name_shim () =
+  List.iter
+    (fun (variant, name) ->
+      Alcotest.(check string) name name (Flextensor.search_name variant);
+      check_bool (name ^ " registered") true
+        (Option.is_some (Flextensor.Method.find name)))
+    [ (Flextensor.Q_learning, "Q-method");
+      (Flextensor.P_exhaustive, "P-method");
+      (Flextensor.Random_walk, "random") ]
 
 let test_invalid_graph_rejected () =
   let node =
@@ -112,6 +136,39 @@ let test_restarts_never_worse () =
   check_bool "restarts never worse" true (multi.perf_value >= single.perf_value);
   check_bool "accounting summed" true (multi.n_evals > single.n_evals)
 
+(* Restart merging must keep the history and the summed totals on one
+   timeline: each restart's samples offset by the preceding restarts'
+   clock and eval count, best-so-far monotone across the joins, and
+   the curve's endpoint agreeing with the summed accounting (the old
+   code kept only the best run's history, so [time_to_reach] compared
+   per-run timestamps against a summed clock). *)
+let test_restart_history_merged () =
+  let graph = Flextensor.Operators.gemm ~m:64 ~n:64 ~k:64 in
+  let multi =
+    Flextensor.optimize ~options:{ options with restarts = 3 } graph
+      Flextensor.Target.v100
+  in
+  check_bool "history non-empty" true (multi.history <> []);
+  let rec monotone = function
+    | (a : Flextensor.Driver.sample) :: (b : Flextensor.Driver.sample) :: rest ->
+        a.at_s <= b.at_s && a.n_evals <= b.n_evals
+        && a.best_value <= b.best_value
+        && monotone (b :: rest)
+    | _ -> true
+  in
+  check_bool "merged history monotone" true (monotone multi.history);
+  let last = List.nth multi.history (List.length multi.history - 1) in
+  Alcotest.(check int) "curve endpoint matches summed evals" multi.n_evals
+    last.n_evals;
+  check_bool "curve endpoint within summed clock" true
+    (last.at_s <= multi.sim_time_s);
+  check_bool "curve reaches the reported best" true
+    (last.best_value = multi.perf_value);
+  (* A single run is untouched by the merge. *)
+  let single = Flextensor.optimize ~options graph Flextensor.Target.v100 in
+  let last1 = List.nth single.history (List.length single.history - 1) in
+  Alcotest.(check int) "single-run endpoint evals" single.n_evals last1.n_evals
+
 let test_summary_string () =
   let graph = Flextensor.Operators.gemm ~m:32 ~n:32 ~k:32 in
   let report = Flextensor.optimize ~options graph Flextensor.Target.v100 in
@@ -129,11 +186,15 @@ let () =
             test_generated_code_mentions_target_binding;
           Alcotest.test_case "verify" `Quick test_verify_through_api;
           Alcotest.test_case "all methods" `Quick test_all_search_methods_through_api;
+          Alcotest.test_case "unknown method" `Quick test_unknown_method_rejected;
+          Alcotest.test_case "variant shim" `Quick test_search_name_shim;
           Alcotest.test_case "invalid graph" `Quick test_invalid_graph_rejected;
           Alcotest.test_case "max evals" `Quick test_max_evals_option;
           Alcotest.test_case "flops scale" `Quick test_flops_scale_option;
           Alcotest.test_case "embedded analysis" `Quick test_analysis_embedded_in_report;
           Alcotest.test_case "restarts" `Quick test_restarts_never_worse;
+          Alcotest.test_case "restart history merge" `Quick
+            test_restart_history_merged;
           Alcotest.test_case "summary" `Quick test_summary_string;
         ] );
     ]

@@ -76,7 +76,7 @@ let test_single_layer_run () =
   let layers = [ ("L", tiny_conv, 2) ] in
   let result =
     Ft_dnn.Runner.run ~max_evals:40 ~network:"tiny" ~target:Ft_schedule.Target.v100
-      layers Ft_dnn.Runner.Flextensor_q
+      layers "Q-method"
   in
   check_int "one layer time" 1 (List.length result.layer_times);
   check_bool "total accounts occurrences" true
@@ -109,11 +109,11 @@ let test_fusion_beats_unfused () =
   let target = Ft_schedule.Target.v100 in
   let fused =
     Ft_dnn.Runner.run ~max_evals:40 ~fused:true ~network:"t" ~target layers
-      Ft_dnn.Runner.Flextensor_q
+      "Q-method"
   in
   let unfused =
     Ft_dnn.Runner.run ~max_evals:40 ~fused:false ~network:"t" ~target layers
-      Ft_dnn.Runner.Flextensor_q
+      "Q-method"
   in
   check_bool "fusion no slower" true (fused.total_s <= unfused.total_s +. 1e-12)
 

@@ -207,26 +207,31 @@ let result_fingerprint (r : Ft_explore.Driver.result) =
       (fun (s : Ft_explore.Driver.sample) -> (s.at_s, s.n_evals, s.best_value))
       r.history )
 
+(* Every *registered* method must be pool-size-invariant — the suite
+   iterates the registry, so a newly registered method is covered with
+   no edit here.  Small per-method trial budgets keep the runtime
+   bounded; the eval cap is the real limiter. *)
+let () = Ft_baselines.Autotvm.ensure_registered ()
+
 let searches =
-  [
-    ( "q",
-      fun ~seed ~pool space ->
-        Ft_explore.Q_method.search ~seed ~n_trials:6 ~max_evals:80 ~pool space );
-    ( "p",
-      fun ~seed ~pool space ->
-        Ft_explore.P_method.search ~seed ~n_trials:3 ~max_evals:80 ~pool space );
-    ( "random",
-      fun ~seed ~pool space ->
-        Ft_explore.Random_method.search ~seed ~n_trials:50 ~max_evals:80 ~pool space
-    );
-    ( "autotvm",
-      fun ~seed ~pool space ->
-        Ft_baselines.Autotvm.search ~seed ~n_rounds:3 ~max_evals:80 ~pool space );
-  ]
+  List.map
+    (fun (m : Ft_explore.Method.t) ->
+      ( m.name,
+        fun ~seed ~pool space ->
+          m.search
+            {
+              Ft_explore.Search_loop.default_params with
+              seed;
+              n_trials = 6;
+              max_evals = Some 80;
+              pool = Some pool;
+            }
+            space ))
+    (Ft_explore.Method.list ())
 
 let test_search_determinism_across_jobs =
   let space = gemm_space () in
-  QCheck.Test.make ~count:6 ~name:"search results independent of -j"
+  QCheck.Test.make ~count:8 ~name:"search results independent of -j"
     QCheck.(pair (int_bound 9999) (int_bound (List.length searches - 1)))
     (fun (seed, which) ->
       let name, search = List.nth searches which in

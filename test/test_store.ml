@@ -318,12 +318,12 @@ let test_runner_reuses_layers () =
   in
   let cold =
     Ft_dnn.Runner.run ~max_evals:40 ~fused:false ~store ~network:"tiny" ~target
-      layers Ft_dnn.Runner.Flextensor_q
+      layers "Q-method"
   in
   check_int "cold run reuses nothing" 0 cold.reused_layers;
   let warm =
     Ft_dnn.Runner.run ~max_evals:40 ~fused:false ~store ~network:"tiny" ~target
-      layers Ft_dnn.Runner.Flextensor_q
+      layers "Q-method"
   in
   check_int "warm run reuses every layer" 2 warm.reused_layers;
   Alcotest.(check (float 0.)) "same total latency" cold.total_s warm.total_s
