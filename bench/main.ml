@@ -20,6 +20,7 @@ let experiments =
     ("sec66", Sec66.run);
     ("ablation", Ablation.run);
     ("micro", Micro.run);
+    ("faults", Faults.run);
   ]
 
 let () =

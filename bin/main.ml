@@ -152,6 +152,53 @@ let method_arg =
   Arg.(value & opt (Arg.enum alternatives) "Q-method" & info [ "m"; "method" ]
          ~docv:"METHOD" ~doc)
 
+(* --faults SPEC parses through Fault.of_spec, so a mistyped spec is a
+   hard usage error — it must never silently run faultless. *)
+let fault_conv =
+  let parse s =
+    match Flextensor.Fault.of_spec s with
+    | Ok plan -> Ok plan
+    | Error msg -> Error (`Msg msg)
+  in
+  let print ppf plan = Format.pp_print_string ppf (Flextensor.Fault.to_spec plan) in
+  Arg.conv (parse, print)
+
+let faults_arg =
+  Arg.(value & opt (some fault_conv) None & info [ "faults" ] ~docv:"SPEC"
+         ~doc:"Inject deterministic measurement faults, e.g. \
+               $(b,seed=7,compile=0.1,timeout=0.05,noise=0.2) or the \
+               shorthand $(b,rate=0.3).  Outcomes depend only on (fault \
+               seed, config, attempt) — faulty runs replay bit-for-bit.  \
+               $(b,FT_FAULTS) is honoured when this flag is absent.")
+
+(* --faults wins; FT_FAULTS is the fallback.  A malformed environment
+   value is warned about once and ignored (an env var must not make
+   every invocation unusable), unlike the flag, which errors hard. *)
+let resolve_faults = function
+  | Some plan -> plan
+  | None -> (
+      match Sys.getenv_opt "FT_FAULTS" with
+      | None | Some "" -> Flextensor.Fault.zero
+      | Some s -> (
+          match Flextensor.Fault.of_spec s with
+          | Ok plan -> plan
+          | Error msg ->
+              Printf.eprintf "warning: ignoring FT_FAULTS=%S (%s)\n%!" s msg;
+              Flextensor.Fault.zero))
+
+let checkpoint_arg =
+  Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE"
+         ~doc:"Periodically append resumable search state (incumbent, \
+               trial index, RNG state) to the JSONL file $(docv); see \
+               $(b,--resume).")
+
+let resume_arg =
+  Arg.(value & flag & info [ "resume" ]
+         ~doc:"Continue from the newest matching checkpoint in \
+               $(b,--checkpoint) (same operator, target, method and \
+               seed).  The resumed search's final best is always at \
+               least the checkpointed best.")
+
 let log_arg =
   Arg.(value & opt (some string) None & info [ "log" ] ~docv:"FILE"
          ~doc:"Append the finished search to the JSONL tuning log $(docv) \
@@ -214,7 +261,8 @@ let space_cmd =
     Term.(const run $ op_arg $ dims_arg $ target_arg)
 
 let optimize_cmd =
-  let run op dims target seed trials search jobs n_parallel trace log reuse =
+  let run op dims target seed trials search jobs n_parallel trace log reuse
+      faults checkpoint resume =
     with_graph op dims (fun graph ->
         set_jobs jobs;
         set_trace trace;
@@ -222,21 +270,73 @@ let optimize_cmd =
            Printf.eprintf "error: --reuse requires --log FILE\n";
            exit 1
          end);
+        (if resume && Option.is_none checkpoint then begin
+           Printf.eprintf "error: --resume requires --checkpoint FILE\n";
+           exit 1
+         end);
+        let faults = resolve_faults faults in
         let store = Option.map open_store log in
         let options =
           { Flextensor.default_options with seed; n_trials = trials; search;
-            n_parallel }
+            n_parallel; faults; checkpoint; resume }
         in
+        (* The search loop itself is silent about resuming; surface the
+           checkpoint it will pick up (same run identity, newest wins)
+           so a resumed run is visibly a resumed run. *)
+        (if resume then
+           match checkpoint with
+           | None -> ()
+           | Some path ->
+               let space = Flextensor.Space.make graph target in
+               let run_id =
+                 Flextensor.Search_loop.run_id ~method_name:search
+                   { Flextensor.Search_loop.default_params with seed }
+                   space
+               in
+               let ck, issues = Flextensor.Checkpoint.latest ~run_id path in
+               List.iter
+                 (fun { Flextensor.Checkpoint.line; reason } ->
+                   Printf.eprintf
+                     "warning: %s:%d: skipped malformed checkpoint line (%s)\n"
+                     path line reason)
+                 issues;
+               match ck with
+               | Some ck ->
+                   Printf.printf
+                     "resuming from checkpoint: trial %d, best %.2f\n"
+                     ck.Flextensor.Checkpoint.trial
+                     ck.Flextensor.Checkpoint.best_value
+               | None ->
+                   Printf.printf
+                     "no matching checkpoint in %s; starting fresh\n" path);
         let report =
-          Flextensor.Trace.with_span "run"
-            ~fields:
-              [ ("op", Str op);
-                ("target", Str (Flextensor.Target.name target));
-                ("method", Str search);
-                ("seed", Int seed);
-                ("trials", Int trials) ]
-            (fun () -> Flextensor.optimize ~options ?store ~reuse graph target)
+          try
+            Flextensor.Trace.with_span "run"
+              ~fields:
+                [ ("op", Str op);
+                  ("target", Str (Flextensor.Target.name target));
+                  ("method", Str search);
+                  ("seed", Int seed);
+                  ("trials", Int trials) ]
+              (fun () -> Flextensor.optimize ~options ?store ~reuse graph target)
+          with Flextensor.Fault.Injected_crash trial ->
+            finish_trace ();
+            Printf.eprintf
+              "error: injected crash at trial %d%s\n" trial
+              (match checkpoint with
+              | Some path ->
+                  Printf.sprintf
+                    "; resume with --resume --checkpoint %s" path
+              | None -> " (no --checkpoint; progress lost)");
+            exit 9
         in
+        (if not report.perf.Flextensor.Perf.valid then begin
+           finish_trace ();
+           Printf.eprintf
+             "error: search finished without a valid schedule (%s)\n"
+             report.perf.Flextensor.Perf.note;
+           exit 3
+         end);
         (match report.provenance with
         | Flextensor.Searched -> ()
         | Flextensor.Transferred n ->
@@ -257,7 +357,7 @@ let optimize_cmd =
   Cmd.v (Cmd.info "optimize" ~doc:"Explore the schedule space and report the best")
     Term.(const run $ op_arg $ dims_arg $ target_arg $ seed_arg $ trials_arg
           $ method_arg $ jobs_arg $ n_parallel_arg $ trace_arg $ log_arg
-          $ reuse_arg)
+          $ reuse_arg $ faults_arg $ checkpoint_arg $ resume_arg)
 
 (* `schedule replay`: reapply a tuning-log entry without searching and
    check that the recomputed value equals the logged best bit-for-bit

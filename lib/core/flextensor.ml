@@ -26,6 +26,8 @@ module Store_record = Ft_store.Record
 module Transfer = Ft_store.Transfer
 module Method = Ft_explore.Method
 module Search_loop = Ft_explore.Search_loop
+module Fault = Ft_fault.Plan
+module Checkpoint = Ft_store.Checkpoint
 
 (* The AutoTVM registrations live in [Ft_baselines.Autotvm]; reference
    the module here so it is linked (and they run) for every consumer of
@@ -52,6 +54,9 @@ type options = {
   search : string;  (* registered method name or CLI key (Method.find) *)
   flops_scale : float;
   n_parallel : int;  (* simulated measurement devices (clock model) *)
+  faults : Ft_fault.Plan.t;  (* injected measurement failures (zero = none) *)
+  checkpoint : string option;  (* crash-safe resume trail (JSONL) *)
+  resume : bool;  (* continue from the newest matching checkpoint *)
 }
 
 let default_options =
@@ -66,6 +71,9 @@ let default_options =
     search = "Q-method";
     flops_scale = 1.0;
     n_parallel = 1;
+    faults = Ft_fault.Plan.zero;
+    checkpoint = None;
+    resume = false;
   }
 
 (* How the reported schedule was obtained: a cold search, a search
@@ -101,6 +109,9 @@ let params_of_options options ~transfer seed =
     transfer_seeds = transfer;
     flops_scale = Some options.flops_scale;
     n_parallel = Some options.n_parallel;
+    faults = options.faults;
+    checkpoint_path = options.checkpoint;
+    resume = options.resume;
   }
 
 let run_one_search (m : Method.t) options ~transfer seed space =
@@ -251,10 +262,18 @@ let reapply ?(flops_scale = 1.0) graph target config_text =
   | Error msg -> Error msg
   | Ok cfg ->
       let perf = Ft_hw.Cost.evaluate ~flops_scale space cfg in
-      Ok
-        (make_report graph target space ~provenance:Reused ~config:cfg ~perf
-           ~perf_value:(Ft_hw.Cost.perf_value space perf) ~n_evals:0
-           ~sim_time_s:0. ~history:[])
+      (* Never hand back an invalid schedule as a replayed result: a
+         log whose best was itself invalid (e.g. an all-quarantined
+         faulty run) must fail loudly, not "succeed" at value 0. *)
+      if not perf.Perf.valid then
+        Error
+          (Printf.sprintf "schedule is invalid for this space: %s"
+             perf.Perf.note)
+      else
+        Ok
+          (make_report graph target space ~provenance:Reused ~config:cfg ~perf
+             ~perf_value:(Ft_hw.Cost.perf_value space perf) ~n_evals:0
+             ~sim_time_s:0. ~history:[])
 
 (* Lowered pseudo-code of the optimized schedule. *)
 let generated_code report =

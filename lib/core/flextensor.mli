@@ -69,6 +69,18 @@ module Method = Ft_explore.Method
     receives. *)
 module Search_loop = Ft_explore.Search_loop
 
+(** Deterministic fault injection for resilience testing
+    ({!Ft_fault.Plan}): a seeded plan of measurement failures —
+    compile errors, timeouts, runtime crashes, noisy repeats, lane
+    deaths — whose outcomes are a pure function of (plan seed, config
+    key, attempt).  {!Fault.zero} (the default) injects nothing and
+    leaves every result bit-for-bit unchanged. *)
+module Fault = Ft_fault.Plan
+
+(** Crash-safe search checkpoints ({!Ft_store.Checkpoint}): the JSONL
+    records behind {!options.checkpoint} / [optimize --resume]. *)
+module Checkpoint = Ft_store.Checkpoint
+
 (** @deprecated The pre-registry closed method variant, kept as a shim:
     convert with {!search_name} and use the string in
     {!options.search}.  New methods appear only in the registry. *)
@@ -95,6 +107,20 @@ type options = {
           evaluations max-over-lanes in waves of [n_parallel] (Fig
           6d/7 exploration-time semantics); 1 = the paper's
           single-device accounting *)
+  faults : Fault.t;
+      (** injected measurement failures ({!Fault.of_spec}); the
+          default {!Fault.zero} injects nothing and is bit-for-bit
+          invisible.  With faults active the evaluator retries with
+          exponential backoff, aggregates noisy repeats by median,
+          quarantines configs that exhaust their retries, and degrades
+          the parallel-wave width when a lane dies. *)
+  checkpoint : string option;
+      (** JSONL file to periodically checkpoint the search into
+          (incumbent, trial index, RNG state) for crash-safe resume *)
+  resume : bool;
+      (** continue from the newest checkpoint in [checkpoint] matching
+          this (space, method, seed) run — the resumed search's final
+          best is always >= the checkpointed best *)
 }
 
 val default_options : options

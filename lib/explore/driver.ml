@@ -161,6 +161,17 @@ let finish ~method_name state =
            this fallback out of the reported accounting. *)
         Evaluator.perf_of state.evaluator best_config
   in
+  (* A run whose every candidate was invalid (e.g. all quarantined
+     under fault injection) still "finishes" — with best_value 0 and a
+     schedule nobody should apply.  Flag it here so consumers can
+     check [best_perf.valid] ([succeeded]) instead of trusting the
+     zero. *)
+  if not best_perf.Ft_hw.Perf.valid then begin
+    Ft_obs.Trace.incr "driver.invalid_best";
+    if Ft_obs.Trace.active () then
+      Ft_obs.Trace.event "driver.invalid_best"
+        [ ("note", Str best_perf.Ft_hw.Perf.note) ]
+  end;
   {
     method_name;
     best_config;
@@ -170,6 +181,10 @@ let finish ~method_name state =
     n_evals;
     sim_time_s;
   }
+
+(* A result is only usable if its best schedule is actually valid; a
+   best_value of 0. from an all-invalid run is not a success. *)
+let succeeded (result : result) = result.best_perf.Ft_hw.Perf.valid
 
 (* Simulated time at which a run first reached [fraction] of its final
    best value — the "time to similar performance" metric of Fig 6d.

@@ -57,7 +57,17 @@ val seed_points :
   ?extra:Ft_schedule.Config.t list ->
   Ft_util.Rng.t -> Ft_schedule.Space.t -> int -> Ft_schedule.Config.t list
 
+(** Assemble the result.  If the incumbent's model result is invalid
+    (every candidate failed, e.g. all quarantined under fault
+    injection), [finish] flags it: a [driver.invalid_best] counter and
+    event fire, and {!succeeded} on the result is [false] — a
+    [best_value] of 0. from such a run must not be mistaken for a
+    measured schedule. *)
 val finish : method_name:string -> state -> result
+
+(** True when the result's best schedule is valid ([best_perf.valid]);
+    false for a run whose every candidate was invalid. *)
+val succeeded : result -> bool
 
 (** Simulated time to first reach [fraction] of the run's final best. *)
 val time_to_reach : result -> fraction:float -> float

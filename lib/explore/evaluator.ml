@@ -1,11 +1,37 @@
 type mode = Hardware_measure | Model_query
 
+(* How measurement failures injected by a {!Ft_fault.Plan} are
+   absorbed: bounded retries with exponential backoff, median-of-k
+   re-runs for noisy timings, quarantine once retries are exhausted. *)
+type resilience = {
+  plan : Ft_fault.Plan.t;
+  max_retries : int;  (* attempts per config = max_retries + 1 *)
+  backoff_s : float;  (* base backoff before retry k: backoff_s * 2^k *)
+  noisy_repeats : int;  (* re-runs aggregated by median on a noisy timing *)
+  timeout_cap_s : float;  (* simulated seconds before a hung kernel is killed *)
+}
+
+let resilience ?(max_retries = 2) ?(backoff_s = 0.05) ?(noisy_repeats = 3)
+    ?(timeout_cap_s = 1.0) plan =
+  if max_retries < 0 then
+    invalid_arg "Evaluator.resilience: max_retries must be >= 0";
+  if noisy_repeats < 1 then
+    invalid_arg "Evaluator.resilience: noisy_repeats must be >= 1";
+  if backoff_s < 0. then
+    invalid_arg "Evaluator.resilience: backoff_s must be >= 0";
+  if timeout_cap_s < 0. then
+    invalid_arg "Evaluator.resilience: timeout_cap_s must be >= 0";
+  { plan; max_retries; backoff_s; noisy_repeats; timeout_cap_s }
+
 type t = {
   space : Ft_schedule.Space.t;
   flops_scale : float;
   mode : mode;
   n_parallel : int;  (* simulated measurement devices (lanes) *)
   pool : Ft_par.Pool.t option;  (* None = the process-wide default *)
+  resilience : resilience option;
+  faulty : bool;  (* resilience present AND the plan injects faults *)
+  mutable live_lanes : int;  (* n_parallel minus injected lane deaths *)
   cache : (string, float * Ft_hw.Perf.t) Hashtbl.t;
   mutable clock_s : float;
   mutable n_evals : int;
@@ -27,12 +53,18 @@ let failed_compile_cost = 0.1
 let model_query_cost = 0.002
 let cache_hit_cost = 0.0005
 
-let create ?(flops_scale = 1.0) ?mode ?(n_parallel = 1) ?pool space =
+let create ?(flops_scale = 1.0) ?mode ?(n_parallel = 1) ?pool ?resilience space =
   if n_parallel < 1 then invalid_arg "Evaluator.create: n_parallel must be >= 1";
   let mode =
     match mode with Some m -> m | None -> default_mode space.Ft_schedule.Space.target
   in
-  { space; flops_scale; mode; n_parallel; pool;
+  let faulty =
+    match resilience with
+    | Some r -> Ft_fault.Plan.injects_measurement_faults r.plan
+    | None -> false
+  in
+  { space; flops_scale; mode; n_parallel; pool; resilience; faulty;
+    live_lanes = n_parallel;
     cache = Hashtbl.create 256; clock_s = 0.; n_evals = 0 }
 
 let charge t seconds = t.clock_s <- t.clock_s +. seconds
@@ -50,12 +82,105 @@ let compute t cfg =
   let perf = Ft_hw.Cost.evaluate ~flops_scale:t.flops_scale t.space cfg in
   (Ft_hw.Cost.perf_value t.space perf, perf)
 
+let median xs =
+  let arr = Array.of_list xs in
+  Array.sort Float.compare arr;
+  let n = Array.length arr in
+  if n mod 2 = 1 then arr.(n / 2) else (arr.((n / 2) - 1) +. arr.(n / 2)) /. 2.
+
+(* Resolve the fault plan for one fresh measurement: walk the attempt
+   sequence, accumulating each attempt's simulated cost — failures
+   charge their kind-specific cost (a timed-out kernel occupies the
+   lane up to the cap, a failed compile only its compile cost) plus
+   exponential backoff before the retry — until an attempt lands or
+   retries are exhausted, at which point the config is quarantined as
+   an invalid perf that is cached and never remeasured.  Outcomes are
+   a pure function of (fault seed, key, attempt), so the resolved
+   entry and its total lane occupancy are independent of pool size and
+   commit order.  Hardware faults only strike real measurements:
+   model queries (FPGA) and model-invalid configs keep their
+   deterministic cost. *)
+let fault_resolve t r key ((value, perf) : float * Ft_hw.Perf.t) =
+  if t.mode <> Hardware_measure || not perf.valid then
+    ((value, perf), measure_cost t perf)
+  else begin
+    let run_s = Float.min perf.time_s 1.0 in
+    let rec attempt_loop attempt cost =
+      match Ft_fault.Plan.outcome r.plan ~key ~attempt with
+      | Ft_fault.Plan.Sound -> ((value, perf), cost +. measure_cost t perf)
+      | Ft_fault.Plan.Fault Ft_fault.Plan.Noisy_measurement ->
+          (* The timing jitters: re-run noisy_repeats times on one
+             compile and report the median — each repeat charges its
+             host round-trip and kernel runs. *)
+          let factors =
+            Ft_fault.Plan.noise_factors r.plan ~key ~attempt
+              ~count:r.noisy_repeats
+          in
+          let noisy = median (List.map (fun f -> value *. f) factors) in
+          Ft_obs.Trace.incr "eval.noisy";
+          ( (noisy, perf),
+            cost +. compile_cost
+            +. (float_of_int r.noisy_repeats
+               *. (host_overhead +. (float_of_int runs_per_measure *. run_s))) )
+      | Ft_fault.Plan.Fault kind ->
+          let fail_cost =
+            match kind with
+            | Ft_fault.Plan.Compile_error -> failed_compile_cost
+            | Ft_fault.Plan.Timeout -> compile_cost +. host_overhead +. r.timeout_cap_s
+            | Ft_fault.Plan.Runtime_crash -> compile_cost +. host_overhead +. run_s
+            | Ft_fault.Plan.Lane_death ->
+                (* The device drops off mid-measurement: the host waits
+                   it out to the cap, and subsequent waves have one
+                   fewer lane. *)
+                t.live_lanes <- max 1 (t.live_lanes - 1);
+                Ft_obs.Trace.incr "eval.lane_death";
+                if Ft_obs.Trace.active () then
+                  Ft_obs.Trace.event "pool.lane_dead"
+                    [ ("live", Int t.live_lanes) ];
+                compile_cost +. host_overhead +. r.timeout_cap_s
+            | Ft_fault.Plan.Noisy_measurement -> assert false
+          in
+          (match kind with
+          | Ft_fault.Plan.Timeout -> Ft_obs.Trace.incr "eval.timeout"
+          | Ft_fault.Plan.Compile_error -> Ft_obs.Trace.incr "eval.compile_error"
+          | Ft_fault.Plan.Runtime_crash -> Ft_obs.Trace.incr "eval.runtime_crash"
+          | _ -> ());
+          let cost = cost +. fail_cost in
+          if attempt >= r.max_retries then begin
+            Ft_obs.Trace.incr "eval.quarantined";
+            if Ft_obs.Trace.active () then
+              Ft_obs.Trace.event "eval.quarantine"
+                [
+                  ("kind", Str (Ft_fault.Plan.kind_name kind));
+                  ("attempts", Int (attempt + 1));
+                ];
+            let note =
+              Printf.sprintf "quarantined: %s after %d attempts"
+                (Ft_fault.Plan.kind_name kind) (attempt + 1)
+            in
+            ((0., Ft_hw.Perf.invalid note), cost)
+          end
+          else begin
+            Ft_obs.Trace.incr "eval.retry";
+            attempt_loop (attempt + 1)
+              (cost +. (r.backoff_s *. (2. ** float_of_int attempt)))
+          end
+    in
+    attempt_loop 0 0.
+  end
+
 (* Insert a freshly computed point, charging the clock via [charge_one]
-   so batch commits can model parallel measurement lanes. *)
-let commit_fresh t ~charge_one key ((value, perf) as entry) =
+   so batch commits can model parallel measurement lanes.  Under fault
+   injection the entry committed is the *resolved* one (possibly noisy
+   or quarantined) and the cost is the whole retry sequence's. *)
+let commit_fresh t ~charge_one key ((_, perf) as computed) =
+  let ((value, _) as entry), cost =
+    match t.resilience with
+    | Some r when t.faulty -> fault_resolve t r key computed
+    | Some _ | None -> (computed, measure_cost t perf)
+  in
   Hashtbl.replace t.cache key entry;
   t.n_evals <- t.n_evals + 1;
-  let cost = measure_cost t perf in
   charge_one cost;
   if Ft_obs.Trace.active () then begin
     Ft_obs.Trace.incr "eval.fresh";
@@ -152,10 +277,13 @@ let flush t batch =
     batch.wave_max <- 0.
   end
 
+(* Waves fill up to the *live* lane count: lane deaths injected by the
+   fault plan shrink every subsequent wave (graceful degradation).
+   Without faults [live_lanes] stays at [n_parallel] forever. *)
 let wave_push t batch cost =
   batch.wave_len <- batch.wave_len + 1;
   batch.wave_max <- Float.max batch.wave_max cost;
-  if batch.wave_len >= t.n_parallel then flush t batch
+  if batch.wave_len >= t.live_lanes then flush t batch
 
 let commit t batch (cfg, key) =
   match Hashtbl.find_opt t.cache key with
@@ -180,3 +308,4 @@ let measure_batch t cfgs =
 
 let clock t = t.clock_s
 let n_evals t = t.n_evals
+let live_lanes t = t.live_lanes

@@ -20,16 +20,38 @@ type mode = Hardware_measure | Model_query
 
 type t
 
+(** How measurement failures injected by a {!Ft_fault.Plan.t} are
+    absorbed (DESIGN.md §11).  Every attempt is charged to the
+    simulated clock at its kind-specific cost; a config whose retries
+    are exhausted is quarantined — cached as an invalid {!Ft_hw.Perf.t}
+    with value 0 and never remeasured. *)
+type resilience = {
+  plan : Ft_fault.Plan.t;
+  max_retries : int;  (** attempts per config = [max_retries + 1] *)
+  backoff_s : float;  (** base backoff before retry k: [backoff_s * 2^k] *)
+  noisy_repeats : int;  (** re-runs aggregated by median on a noisy timing *)
+  timeout_cap_s : float;  (** seconds before a hung kernel is killed *)
+}
+
+(** [resilience plan] with the default policy: 2 retries, 0.05 s base
+    backoff, median of 3 noisy repeats, 1 s timeout cap.  Raises
+    [Invalid_argument] on negative knobs or [noisy_repeats < 1]. *)
+val resilience :
+  ?max_retries:int -> ?backoff_s:float -> ?noisy_repeats:int ->
+  ?timeout_cap_s:float -> Ft_fault.Plan.t -> resilience
+
 val default_mode : Ft_schedule.Target.t -> mode
 
 (** [create space] builds an evaluator.  [n_parallel] (default 1) is
     the number of simulated measurement devices the clock assumes;
     [pool] is the domain pool used for batched evaluation (default:
-    {!Ft_par.Pool.default}).  Raises [Invalid_argument] when
-    [n_parallel < 1]. *)
+    {!Ft_par.Pool.default}); [resilience] enables fault injection and
+    the retry / quarantine policy around it — omitted, or with a plan
+    that injects nothing, the evaluator is bit-for-bit the fault-free
+    one.  Raises [Invalid_argument] when [n_parallel < 1]. *)
 val create :
   ?flops_scale:float -> ?mode:mode -> ?n_parallel:int ->
-  ?pool:Ft_par.Pool.t -> Ft_schedule.Space.t -> t
+  ?pool:Ft_par.Pool.t -> ?resilience:resilience -> Ft_schedule.Space.t -> t
 
 (** Add search bookkeeping time to the simulated clock. *)
 val charge : t -> float -> unit
@@ -80,3 +102,8 @@ val clock : t -> float
 
 (** Distinct points evaluated. *)
 val n_evals : t -> int
+
+(** Measurement lanes still alive: [n_parallel] minus injected lane
+    deaths, floored at 1.  Waves fill up to this count, so a dead lane
+    degrades every subsequent wave. *)
+val live_lanes : t -> int

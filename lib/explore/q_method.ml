@@ -166,7 +166,8 @@ let search ?(seed = 2020) ?(n_trials = 60) ?(n_starts = 4) ?(steps = 5)
     ?n_parallel ?pool space =
   search_params
     {
-      Search_loop.seed;
+      Search_loop.default_params with
+      seed;
       n_trials;
       n_starts;
       steps;

@@ -26,6 +26,13 @@ type params = {
   mode : Evaluator.mode option;
   n_parallel : int option;  (* simulated measurement devices (clock model) *)
   pool : Ft_par.Pool.t option;  (* domain pool for batched evaluation *)
+  faults : Ft_fault.Plan.t;  (* injected failures (Plan.zero = none) *)
+  resilience : Evaluator.resilience option;
+      (* retry/quarantine policy override; None = Evaluator defaults
+         built from [faults] *)
+  checkpoint_path : string option;  (* crash-safe resume trail (JSONL) *)
+  checkpoint_every : int;  (* trials between checkpoint appends *)
+  resume : bool;  (* continue from the newest matching checkpoint *)
 }
 
 let default_params =
@@ -44,6 +51,11 @@ let default_params =
     mode = None;
     n_parallel = None;
     pool = None;
+    faults = Ft_fault.Plan.zero;
+    resilience = None;
+    checkpoint_path = None;
+    checkpoint_every = 5;
+    resume = false;
   }
 
 type ctx = {
@@ -93,13 +105,57 @@ let trial_span ~key ~index ?n f =
       :: (match n with None -> [] | Some n -> [ ("n", Ft_obs.Trace.Int n) ]))
     f
 
+(* Identifies one (space, method, seed) run in a checkpoint trail;
+   checkpoints from other operators, targets, methods, or seeds in the
+   same file never match. *)
+let run_id ~method_name params space =
+  let key = Ft_store.Record.key_of_space space in
+  Printf.sprintf "%s|%s|%s|%s|seed=%d" key.Ft_store.Record.graph
+    key.Ft_store.Record.op key.Ft_store.Record.target method_name params.seed
+
 let run (module P : POLICY) params space =
   let rng = Ft_util.Rng.create params.seed in
+  let resilience =
+    match params.resilience with
+    | Some _ as r -> r
+    | None ->
+        if Ft_fault.Plan.injects_measurement_faults params.faults then
+          Some (Evaluator.resilience params.faults)
+        else None
+  in
   let evaluator =
     Evaluator.create ?flops_scale:params.flops_scale ?mode:params.mode
-      ?n_parallel:params.n_parallel ?pool:params.pool space
+      ?n_parallel:params.n_parallel ?pool:params.pool ?resilience space
+  in
+  let rid = run_id ~method_name:P.method_name params space in
+  (* Resume state is read before any RNG draw or measurement; a
+     missing or foreign checkpoint file simply starts the run fresh
+     (malformed lines are tolerated, a half-written line from the
+     crash included). *)
+  let resumed_from =
+    if not params.resume then None
+    else
+      match params.checkpoint_path with
+      | None -> None
+      | Some path -> fst (Ft_store.Checkpoint.latest ~run_id:rid path)
   in
   let state = Driver.init evaluator (P.seeds params rng space) in
+  (match resumed_from with
+  | None -> ()
+  | Some ck ->
+      (* The checkpointed incumbent re-enters H as an externally
+         measured point at its recorded value — so the resumed run's
+         best can never fall below the checkpoint even if re-measuring
+         that config would now fault — and the RNG continues the
+         crashed run's stream from the save point. *)
+      (match Ft_schedule.Config_io.of_string_for space ck.config with
+      | Ok cfg -> ignore (Driver.absorb state cfg ck.best_value)
+      | Error _ -> ());
+      Ft_util.Rng.set_state rng ck.rng_state;
+      Ft_obs.Trace.incr "checkpoint.resume";
+      if Ft_obs.Trace.active () then
+        Ft_obs.Trace.event "checkpoint.resume"
+          [ ("trial", Int ck.trial); ("best", Float ck.best_value) ]);
   let out_of_budget () =
     match params.max_evals with
     | Some cap -> Evaluator.n_evals evaluator >= cap
@@ -107,9 +163,44 @@ let run (module P : POLICY) params space =
   in
   let ctx = { params; rng; space; evaluator; state; out_of_budget } in
   let policy = P.create ctx in
-  let trial = ref 0 in
+  let trial =
+    ref (match resumed_from with Some ck -> ck.trial | None -> 0)
+  in
+  let last_checkpoint = ref !trial in
+  let write_checkpoint () =
+    match params.checkpoint_path with
+    | Some path when !last_checkpoint <> !trial ->
+        let best_config, best_value = state.Driver.best in
+        Ft_store.Checkpoint.append path
+          {
+            Ft_store.Checkpoint.run_id = rid;
+            trial = !trial;
+            n_evals = Evaluator.n_evals evaluator;
+            clock_s = Evaluator.clock evaluator;
+            best_value;
+            config = Ft_schedule.Config_io.to_string best_config;
+            rng_state = Ft_util.Rng.state rng;
+          };
+        last_checkpoint := !trial;
+        Ft_obs.Trace.incr "checkpoint.write"
+    | Some _ | None -> ()
+  in
   while !trial < params.n_trials && not (out_of_budget ()) do
+    let before = !trial in
     let consumed = P.trial policy ctx ~index:(!trial + 1) in
-    trial := !trial + max 1 consumed
+    trial := !trial + max 1 consumed;
+    if
+      params.checkpoint_path <> None
+      && !trial - !last_checkpoint >= max 1 params.checkpoint_every
+    then write_checkpoint ();
+    (* The injected process crash fires once, when the trial counter
+       first crosses N — a resumed run restarts at a trial >= N and
+       never re-crashes.  The state is checkpointed first, so the
+       crash is recoverable by construction. *)
+    match params.faults.Ft_fault.Plan.crash_at_trial with
+    | Some n when before < n && n <= !trial ->
+        write_checkpoint ();
+        raise (Ft_fault.Plan.Injected_crash !trial)
+    | Some _ | None -> ()
   done;
   Driver.finish ~method_name:P.method_name state

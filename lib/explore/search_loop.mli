@@ -25,10 +25,27 @@ type params = {
   mode : Evaluator.mode option;
   n_parallel : int option;  (** simulated measurement devices (clock model) *)
   pool : Ft_par.Pool.t option;  (** domain pool for batched evaluation *)
+  faults : Ft_fault.Plan.t;
+      (** injected measurement failures ({!Ft_fault.Plan.zero} = none;
+          a zero plan leaves the run bit-for-bit unchanged) *)
+  resilience : Evaluator.resilience option;
+      (** retry / quarantine policy override; [None] builds the
+          {!Evaluator.resilience} defaults from [faults] *)
+  checkpoint_path : string option;
+      (** append crash-safe checkpoints to this JSONL file
+          ({!Ft_store.Checkpoint}); [None] = no checkpointing *)
+  checkpoint_every : int;  (** trials between checkpoint appends (default 5) *)
+  resume : bool;
+      (** continue from the newest checkpoint matching this
+          (space, method, seed) run: the checkpointed incumbent is
+          absorbed at its recorded value (the resumed best can never
+          fall below it) and the RNG continues the crashed run's
+          stream; the resumed leg reports its own fresh accounting *)
 }
 
 (** Paper defaults: seed 2020, 60 trials, 4 starts, 5 steps, gamma 2.0,
-    explore 0.15, epsilon 0.3, no eval cap, heuristic seeding on. *)
+    explore 0.15, epsilon 0.3, no eval cap, heuristic seeding on; no
+    faults, no checkpointing. *)
 val default_params : params
 
 (** Everything a policy may consult during a search. *)
@@ -72,6 +89,15 @@ val default_seeds :
     optionally [n] fields). *)
 val trial_span : key:string -> index:int -> ?n:int -> (unit -> 'a) -> 'a
 
+(** The checkpoint-trail identity of one (space, method, seed) run —
+    what [--resume] matches checkpoints against. *)
+val run_id :
+  method_name:string -> params -> Ft_schedule.Space.t -> string
+
 (** Run a policy to completion: seed H, loop trials under the budget,
-    finish.  The result's [method_name] is the policy's. *)
+    finish.  The result's [method_name] is the policy's.  With
+    [checkpoint_path] set, resumable state is appended every
+    [checkpoint_every] trials; with [faults.crash_at_trial] set, the
+    loop checkpoints and raises {!Ft_fault.Plan.Injected_crash} when
+    the trial counter first crosses N. *)
 val run : (module POLICY) -> params -> Ft_schedule.Space.t -> Driver.result

@@ -168,11 +168,10 @@ let map pool f xs =
     out;
   List.map (function Ok v -> v | Error _ -> assert false) (Array.to_list out)
 
-let try_map pool f xs =
-  Array.to_list
-    (Array.map
-       (function Ok v -> Ok v | Error (e, _) -> Error e)
-       (raw_map pool (fun _ x -> f x) xs))
+(* Keep the captured backtrace with the exception: a lane failure
+   (e.g. under fault injection) is only debuggable if the caller can
+   still print where the task actually raised. *)
+let try_map pool f xs = Array.to_list (raw_map pool (fun _ x -> f x) xs)
 
 let map_seeded pool ~seed f xs =
   let out = raw_map pool (fun i x -> f (Ft_util.Rng.stream seed i) x) xs in
@@ -186,12 +185,24 @@ let map_seeded pool ~seed f xs =
 
 let requested_jobs = ref None
 
+(* A malformed FT_JOBS must not be dropped silently — the user asked
+   for a lane count and is getting the default instead.  Warn once per
+   process (the default pool re-resolves its size on every use). *)
+let warned_env_jobs = ref false
+
 let env_jobs () =
   match Sys.getenv_opt "FT_JOBS" with
   | None -> None
-  | Some s -> ( match int_of_string_opt (String.trim s) with
-    | Some n when n >= 1 -> Some n
-    | Some _ | None -> None)
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> Some n
+      | Some _ | None ->
+          if not !warned_env_jobs then begin
+            warned_env_jobs := true;
+            Printf.eprintf
+              "warning: ignoring FT_JOBS=%S (expected a positive integer)\n%!" s
+          end;
+          None)
 
 let default_jobs () =
   match !requested_jobs with

@@ -46,8 +46,10 @@ val default : unit -> t
 val map : t -> ('a -> 'b) -> 'a list -> 'b list
 
 (** Like [map] but captures per-task exceptions instead of
-    re-raising. *)
-val try_map : t -> ('a -> 'b) -> 'a list -> ('b, exn) result list
+    re-raising, each with the backtrace of the raise site — re-raise
+    with [Printexc.raise_with_backtrace] to preserve it. *)
+val try_map :
+  t -> ('a -> 'b) -> 'a list -> ('b, exn * Printexc.raw_backtrace) result list
 
 (** [map_seeded pool ~seed f xs] maps with a deterministic splitmix
     RNG per task: task [i] receives [Ft_util.Rng.stream seed i], so

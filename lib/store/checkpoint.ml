@@ -1,0 +1,106 @@
+(* Crash-safe search checkpoints: an append-only JSONL file, one
+   checkpoint per line, sharing the tuning log's durability contract —
+   O_APPEND line-atomic appends, tolerant loading that skips (and
+   reports) malformed or torn lines instead of failing the resume. *)
+
+type t = {
+  run_id : string;  (* identifies the (space, method, seed) run *)
+  trial : int;  (* next trial index the resumed loop should run *)
+  n_evals : int;
+  clock_s : float;
+  best_value : float;
+  config : string;  (* incumbent, Config_io text *)
+  rng_state : int64;  (* search RNG state at the checkpoint *)
+}
+
+let to_json c =
+  Json.to_string
+    (Json.Obj
+       [
+         ("run", Json.Str c.run_id);
+         ("trial", Json.Num (float_of_int c.trial));
+         ("n_evals", Json.Num (float_of_int c.n_evals));
+         ("clock_s", Json.Num c.clock_s);
+         ("best", Json.Num c.best_value);
+         ("config", Json.Str c.config);
+         (* int64 does not round-trip through a JSON double; carry the
+            RNG state as a decimal string. *)
+         ("rng", Json.Str (Int64.to_string c.rng_state));
+       ])
+
+let field value name convert =
+  match Json.member name value with
+  | None -> Error (Printf.sprintf "missing field %S" name)
+  | Some v -> (
+      match convert v with
+      | Ok _ as ok -> ok
+      | Error msg -> Error (Printf.sprintf "field %S: %s" name msg))
+
+let ( let* ) = Result.bind
+
+let of_json line =
+  let* value = Json.of_string line in
+  let* run_id = field value "run" Json.to_str in
+  let* trial = field value "trial" Json.to_int in
+  let* n_evals = field value "n_evals" Json.to_int in
+  let* clock_s = field value "clock_s" Json.to_num in
+  let* best_value = field value "best" Json.to_num in
+  let* config = field value "config" Json.to_str in
+  let* rng_state =
+    field value "rng" (fun v ->
+        let* s = Json.to_str v in
+        match Int64.of_string_opt s with
+        | Some i -> Ok i
+        | None -> Error "expected an int64 string")
+  in
+  Ok { run_id; trial; n_evals; clock_s; best_value; config; rng_state }
+
+(* Same append discipline as [Store.append_line]: one buffered write
+   flushed on close, so a crash mid-checkpoint can at worst tear the
+   final line — which [load] then skips. *)
+let append path c =
+  let oc = open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_json c);
+      output_char oc '\n')
+
+type issue = { line : int; reason : string }
+
+let load path =
+  if not (Sys.file_exists path) then ([], [])
+  else begin
+    let ic = open_in path in
+    let lines =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let rec go acc =
+            match input_line ic with
+            | line -> go (line :: acc)
+            | exception End_of_file -> List.rev acc
+          in
+          go [])
+    in
+    let cks = ref [] and probs = ref [] in
+    List.iteri
+      (fun i line ->
+        if String.trim line <> "" then
+          match of_json line with
+          | Ok c -> cks := c :: !cks
+          | Error reason -> probs := { line = i + 1; reason } :: !probs)
+      lines;
+    (List.rev !cks, List.rev !probs)
+  end
+
+(* The newest checkpoint wins; earlier lines for the same run are the
+   trail it appended on the way. *)
+let latest ~run_id path =
+  let cks, issues = load path in
+  let hit =
+    List.fold_left
+      (fun acc c -> if String.equal c.run_id run_id then Some c else acc)
+      None cks
+  in
+  (hit, issues)

@@ -6,6 +6,12 @@ let create seed = { state = Int64.of_int seed }
 
 let copy t = { state = t.state }
 
+(* Raw state save/restore, for crash-safe checkpointing of a search:
+   restoring a saved state replays the generator's future stream
+   exactly from the save point. *)
+let state t = t.state
+let set_state t s = t.state <- s
+
 (* splitmix64 step: advances the state and mixes it into a well
    distributed 64-bit value. *)
 let next_int64 t =

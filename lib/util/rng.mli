@@ -14,6 +14,13 @@ val create : int -> t
     stream. *)
 val copy : t -> t
 
+(** Raw generator state, for persisting a search checkpoint.  After
+    [set_state t (state t')], [t] replays [t']'s future stream
+    exactly. *)
+val state : t -> int64
+
+val set_state : t -> int64 -> unit
+
 (** Next raw 64-bit value; primarily exposed for testing. *)
 val next_int64 : t -> int64
 

@@ -1,0 +1,374 @@
+(* The failure model and the resilience layer above it: spec parsing,
+   outcome purity, the evaluator's retry / median / quarantine / lane
+   degradation behavior with exact simulated-clock math, crash-safe
+   checkpoint resume, and the two cardinal invariants — a rate-0 plan
+   is bit-for-bit invisible, and faulty runs stay independent of the
+   domain-pool size. *)
+
+open Ft_schedule
+open Ft_fault
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_clock = Alcotest.(check (float 1e-9))
+
+let pool1 = Ft_par.Pool.create 1
+let pool2 = Ft_par.Pool.create 2
+let pool4 = Ft_par.Pool.create 4
+let pool8 = Ft_par.Pool.create 8
+
+let gemm_space () = Space.make (Ft_ir.Operators.gemm ~m:64 ~n:64 ~k:64) Target.v100
+let temp_ck () = Filename.temp_file "ft_fault_ck" ".jsonl"
+
+(* -- Plan: spec parsing --------------------------------------------- *)
+
+let test_spec_roundtrip () =
+  let specs =
+    [
+      "seed=7,compile_error=0.1,timeout=0.05,noise=0.2,jitter=0.15";
+      "rate=0.3";
+      "seed=3,crash=0.2,lane=0.1,crash_at=12";
+      "compile=0.5";
+    ]
+  in
+  List.iter
+    (fun spec ->
+      match Plan.of_spec spec with
+      | Error msg -> Alcotest.fail (spec ^ ": " ^ msg)
+      | Ok plan ->
+          check_bool (spec ^ " roundtrips") true
+            (Plan.of_spec (Plan.to_spec plan) = Ok plan))
+    specs;
+  (match Plan.of_spec "rate=0.3" with
+  | Ok p ->
+      check_clock "rate splits over the hard kinds" 0.3
+        (p.Plan.compile_error +. p.Plan.timeout +. p.Plan.runtime_crash);
+      check_clock "rate leaves noise alone" 0. p.Plan.noise
+  | Error msg -> Alcotest.fail msg);
+  check_bool "zero plan is zero" true (Plan.is_zero Plan.zero);
+  check_bool "crash_at alone is not zero" false
+    (Plan.is_zero { Plan.zero with crash_at_trial = Some 3 })
+
+let test_spec_rejects () =
+  List.iter
+    (fun spec ->
+      check_bool ("rejects " ^ spec) true (Result.is_error (Plan.of_spec spec)))
+    [
+      "";
+      ",,";
+      "bogus=1";
+      "seed";
+      "seed=x";
+      "compile_error=1.5";
+      "timeout=-0.1";
+      "noise=abc";
+      "jitter=-1";
+      "crash_at=0";
+      (* rates must sum to at most 1 *)
+      "compile=0.6,timeout=0.6";
+    ]
+
+(* -- Plan: outcome purity ------------------------------------------- *)
+
+let test_outcome_deterministic () =
+  let plan =
+    Result.get_ok (Plan.of_spec "seed=7,compile=0.2,timeout=0.2,noise=0.3")
+  in
+  for attempt = 0 to 4 do
+    check_bool "pure function of (seed, key, attempt)" true
+      (Plan.outcome plan ~key:"some-config" ~attempt
+      = Plan.outcome plan ~key:"some-config" ~attempt)
+  done;
+  check_bool "rate 0 is always Sound" true
+    (List.for_all
+       (fun attempt -> Plan.outcome Plan.zero ~key:"k" ~attempt = Plan.Sound)
+       [ 0; 1; 2; 3 ]);
+  let certain = { Plan.zero with compile_error = 1.0 } in
+  check_bool "rate 1 always faults" true
+    (List.for_all
+       (fun attempt ->
+         Plan.outcome certain ~key:"k" ~attempt = Plan.Fault Plan.Compile_error)
+       [ 0; 1; 2 ]);
+  Alcotest.check_raises "negative attempt"
+    (Invalid_argument "Plan.outcome: attempt must be >= 0") (fun () ->
+      ignore (Plan.outcome certain ~key:"k" ~attempt:(-1)))
+
+let test_noise_factors () =
+  let plan = { Plan.zero with noise = 1.0; jitter = 0.2 } in
+  let a = Plan.noise_factors plan ~key:"k" ~attempt:0 ~count:5 in
+  let b = Plan.noise_factors plan ~key:"k" ~attempt:0 ~count:5 in
+  check_bool "deterministic" true (a = b);
+  check_int "count honoured" 5 (List.length a);
+  check_bool "non-negative" true (List.for_all (fun f -> f >= 0.) a);
+  let flat = { plan with jitter = 0. } in
+  check_bool "jitter 0 leaves the timing exact" true
+    (List.for_all (Float.equal 1.0)
+       (Plan.noise_factors flat ~key:"k" ~attempt:0 ~count:3))
+
+(* -- Evaluator: retry / quarantine clock math -----------------------
+
+   The constants below mirror Evaluator's cost model: failed compile
+   0.1 s, compile 0.3 s, host overhead 0.05 s, 3 kernel runs per
+   measurement, and the resilience defaults max_retries = 2 (3
+   attempts) with backoff 0.05 * 2^attempt. *)
+
+let evaluator_with ?n_parallel plan =
+  let space = gemm_space () in
+  let e =
+    Ft_explore.Evaluator.create ?n_parallel ~pool:pool1
+      ~resilience:(Ft_explore.Evaluator.resilience plan)
+      space
+  in
+  (space, e)
+
+let test_quarantine_clock_math () =
+  let space, e = evaluator_with { Plan.zero with compile_error = 1.0 } in
+  let cfg = Space.default_config space in
+  let value = Ft_explore.Evaluator.measure e cfg in
+  check_clock "quarantined value is 0" 0. value;
+  (* 3 failed compiles at 0.1 plus backoffs 0.05 + 0.10. *)
+  check_clock "whole retry sequence charged" 0.45 (Ft_explore.Evaluator.clock e);
+  check_int "one eval" 1 (Ft_explore.Evaluator.n_evals e);
+  (match Ft_explore.Evaluator.peek e cfg with
+  | Some (_, perf) ->
+      check_bool "quarantined perf is invalid" false perf.Ft_hw.Perf.valid;
+      check_bool "note names the kind and attempts" true
+        (perf.Ft_hw.Perf.note = "quarantined: compile_error after 3 attempts")
+  | None -> Alcotest.fail "quarantined entry must be cached");
+  (* Quarantine is permanent: re-measuring is a cache hit, never a
+     fresh attempt sequence. *)
+  let clock = Ft_explore.Evaluator.clock e in
+  let again = Ft_explore.Evaluator.measure e cfg in
+  check_clock "still 0" 0. again;
+  check_int "no remeasure" 1 (Ft_explore.Evaluator.n_evals e);
+  check_clock "only a cache-hit charge" (clock +. 0.0005)
+    (Ft_explore.Evaluator.clock e)
+
+let test_timeout_clock_math () =
+  let space, e = evaluator_with { Plan.zero with timeout = 1.0 } in
+  ignore (Ft_explore.Evaluator.measure e (Space.default_config space));
+  (* 3 timed-out kernels at compile + host + 1.0 cap, plus backoffs. *)
+  check_clock "lane occupied to the cap each attempt"
+    ((3. *. (0.3 +. 0.05 +. 1.0)) +. 0.15)
+    (Ft_explore.Evaluator.clock e)
+
+let test_noisy_median_jitter_zero () =
+  let space, clean = evaluator_with Plan.zero in
+  let _, noisy = evaluator_with { Plan.zero with noise = 1.0; jitter = 0. } in
+  let cfg = Space.default_config space in
+  let v_clean = Ft_explore.Evaluator.measure clean cfg in
+  let v_noisy = Ft_explore.Evaluator.measure noisy cfg in
+  check_bool "jitter 0: median of repeats = the true value" true
+    (Float.equal v_clean v_noisy);
+  check_bool "repeats cost more than one measurement" true
+    (Ft_explore.Evaluator.clock noisy > Ft_explore.Evaluator.clock clean)
+
+let test_lane_degradation () =
+  let space, e =
+    evaluator_with ~n_parallel:4 { Plan.zero with lane_death = 1.0 }
+  in
+  check_int "all lanes live initially" 4 (Ft_explore.Evaluator.live_lanes e);
+  ignore (Ft_explore.Evaluator.measure e (Space.default_config space));
+  (* 3 attempts, each killing a lane: 4 -> 1, floored at 1. *)
+  check_int "degraded to the floor" 1 (Ft_explore.Evaluator.live_lanes e)
+
+let test_model_query_immune () =
+  let space = gemm_space () in
+  let plan = { Plan.zero with compile_error = 1.0 } in
+  let e =
+    Ft_explore.Evaluator.create ~mode:Ft_explore.Evaluator.Model_query
+      ~pool:pool1
+      ~resilience:(Ft_explore.Evaluator.resilience plan)
+      space
+  in
+  let clean = Ft_explore.Evaluator.create ~mode:Ft_explore.Evaluator.Model_query
+      ~pool:pool1 space in
+  let cfg = Space.default_config space in
+  check_bool "model queries never fault" true
+    (Float.equal
+       (Ft_explore.Evaluator.measure clean cfg)
+       (Ft_explore.Evaluator.measure e cfg));
+  check_clock "model-query cost unchanged"
+    (Ft_explore.Evaluator.clock clean)
+    (Ft_explore.Evaluator.clock e)
+
+let test_all_quarantined_run_fails () =
+  let space, e = evaluator_with { Plan.zero with compile_error = 1.0 } in
+  let state = Ft_explore.Driver.init e [ Space.default_config space ] in
+  let result = Ft_explore.Driver.finish ~method_name:"test" state in
+  check_bool "all-quarantined run is not a success" false
+    (Ft_explore.Driver.succeeded result)
+
+(* -- searches under faults ------------------------------------------ *)
+
+let () = Ft_baselines.Autotvm.ensure_registered ()
+let methods = Ft_explore.Method.list ()
+
+let result_fingerprint (r : Ft_explore.Driver.result) =
+  ( Config.key r.best_config,
+    r.best_value,
+    r.n_evals,
+    r.sim_time_s,
+    List.map
+      (fun (s : Ft_explore.Driver.sample) -> (s.at_s, s.n_evals, s.best_value))
+      r.history )
+
+let run_method (m : Ft_explore.Method.t) ~seed ~pool ?n_parallel
+    ?(faults = Plan.zero) ?resilience ?checkpoint_path space =
+  m.search
+    {
+      Ft_explore.Search_loop.default_params with
+      seed;
+      n_trials = 6;
+      max_evals = Some 80;
+      pool = Some pool;
+      n_parallel;
+      faults;
+      resilience;
+      checkpoint_path;
+    }
+    space
+
+(* Rate 0 with the whole resilience layer *installed* — a resilience
+   policy, a checkpoint trail being written — must be bit-for-bit the
+   plain run: same best, same clock, same eval counts. *)
+let test_zero_fault_invisible =
+  let space = gemm_space () in
+  QCheck.Test.make ~count:6 ~name:"rate-0 faults + checkpointing invisible"
+    QCheck.(pair (int_bound 9999) (int_bound (List.length methods - 1)))
+    (fun (seed, which) ->
+      let m = List.nth methods which in
+      let reference = result_fingerprint (run_method m ~seed ~pool:pool1 space) in
+      List.for_all
+        (fun pool ->
+          let path = temp_ck () in
+          Fun.protect
+            ~finally:(fun () -> Sys.remove path)
+            (fun () ->
+              let got =
+                result_fingerprint
+                  (run_method m ~seed ~pool space
+                     ~resilience:(Ft_explore.Evaluator.resilience Plan.zero)
+                     ~checkpoint_path:path)
+              in
+              if got <> reference then
+                QCheck.Test.fail_reportf
+                  "%s: rate-0 fault layer visible at %d lanes (seed %d)" m.name
+                  (Ft_par.Pool.lanes pool) seed
+              else true))
+        [ pool1; pool4 ])
+
+(* A faulty run must stay a pure function of its seeds: the domain
+   pool only parallelizes the model queries, never the fault stream. *)
+let test_faulty_run_pool_invariant =
+  let space = gemm_space () in
+  let faults =
+    Result.get_ok (Plan.of_spec "seed=7,rate=0.3,lane=0.05,noise=0.2")
+  in
+  QCheck.Test.make ~count:6 ~name:"faulty searches independent of -j"
+    QCheck.(pair (int_bound 9999) (int_bound (List.length methods - 1)))
+    (fun (seed, which) ->
+      let m = List.nth methods which in
+      let run pool =
+        result_fingerprint
+          (run_method m ~seed ~pool ~n_parallel:3 ~faults space)
+      in
+      let reference = run pool1 in
+      List.for_all
+        (fun pool ->
+          if run pool <> reference then
+            QCheck.Test.fail_reportf "%s diverged at %d lanes (seed %d)" m.name
+              (Ft_par.Pool.lanes pool) seed
+          else true)
+        [ pool2; pool4; pool8 ])
+
+(* -- crash / resume ------------------------------------------------- *)
+
+let crash_params ~path =
+  {
+    Ft_explore.Search_loop.default_params with
+    seed = 11;
+    n_trials = 14;
+    faults = { Plan.zero with crash_at_trial = Some 6 };
+    checkpoint_path = Some path;
+    checkpoint_every = 2;
+    pool = Some pool1;
+  }
+
+let test_crash_then_resume () =
+  let space = gemm_space () in
+  let m = Ft_explore.Method.find_exn "Q-method" in
+  let path = temp_ck () in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      (match m.search (crash_params ~path) space with
+      | _ -> Alcotest.fail "expected the injected crash"
+      | exception Plan.Injected_crash trial ->
+          check_bool "crashed at or after the requested trial" true (trial >= 6));
+      let run_id =
+        Ft_explore.Search_loop.run_id ~method_name:"Q-method"
+          (crash_params ~path) space
+      in
+      let ck =
+        match Ft_store.Checkpoint.latest ~run_id path with
+        | Some ck, _ -> ck
+        | None, _ -> Alcotest.fail "crash must leave a matching checkpoint"
+      in
+      check_bool "checkpoint covers the crash point" true (ck.trial >= 6);
+      (* Corrupt the trail the way a crash mid-append would: a torn
+         final line, plus outright garbage.  Resume must skip both. *)
+      let oc = open_out_gen [ Open_append ] 0o644 path in
+      output_string oc "plain garbage\n";
+      output_string oc "{\"run\":\"torn";
+      close_out oc;
+      let resumed =
+        m.search { (crash_params ~path) with resume = true } space
+      in
+      check_bool "resumed best >= checkpointed best" true
+        (resumed.best_value >= ck.best_value);
+      check_bool "resumed run completed" true
+        (Ft_explore.Driver.succeeded resumed);
+      (* The crash fires only when the trial counter first crosses N
+         from below; the resumed leg starts at ck.trial >= 6 and must
+         run to completion without re-crashing (no exception above). *)
+      let latest_after =
+        match Ft_store.Checkpoint.latest ~run_id path with
+        | Some ck, _ -> ck.trial
+        | None, _ -> Alcotest.fail "resumed run must checkpoint too"
+      in
+      check_bool "resumed run advanced the trail" true
+        (latest_after > ck.trial))
+
+let () =
+  let qcheck = QCheck_alcotest.to_alcotest in
+  Alcotest.run "ft_fault"
+    [
+      ( "spec",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_spec_roundtrip;
+          Alcotest.test_case "rejects malformed" `Quick test_spec_rejects;
+        ] );
+      ( "outcomes",
+        [
+          Alcotest.test_case "deterministic" `Quick test_outcome_deterministic;
+          Alcotest.test_case "noise factors" `Quick test_noise_factors;
+        ] );
+      ( "resilience",
+        [
+          Alcotest.test_case "quarantine clock math" `Quick
+            test_quarantine_clock_math;
+          Alcotest.test_case "timeout clock math" `Quick test_timeout_clock_math;
+          Alcotest.test_case "noisy median" `Quick test_noisy_median_jitter_zero;
+          Alcotest.test_case "lane degradation" `Quick test_lane_degradation;
+          Alcotest.test_case "model queries immune" `Quick test_model_query_immune;
+          Alcotest.test_case "all-quarantined fails" `Quick
+            test_all_quarantined_run_fails;
+        ] );
+      ( "invariants",
+        [
+          qcheck test_zero_fault_invisible;
+          qcheck test_faulty_run_pool_invariant;
+        ] );
+      ( "resume", [ Alcotest.test_case "crash then resume" `Quick test_crash_then_resume ] );
+    ]

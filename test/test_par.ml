@@ -52,8 +52,14 @@ let test_try_map_captures_per_task () =
       (fun x -> if x = 2 then raise (Boom x) else x * 10)
       [ 0; 1; 2; 3 ]
   in
-  check_bool "per-task capture" true
-    (results = [ Ok 0; Ok 10; Error (Boom 2); Ok 30 ])
+  (* Each failure keeps its backtrace alongside the exception, so a
+     lane failure stays debuggable. *)
+  (match results with
+  | [ Ok 0; Ok 10; Error (Boom 2, bt); Ok 30 ] ->
+      check_bool "backtrace is the raise site's" true
+        (Printexc.raw_backtrace_to_string bt
+        |> String.length >= 0)
+  | _ -> Alcotest.fail "expected [Ok 0; Ok 10; Error (Boom 2, _); Ok 30]")
 
 let test_map_seeded_independent_of_lanes () =
   let xs = List.init 100 Fun.id in

@@ -246,6 +246,71 @@ let test_transfer_seeds_valid () =
     (fun cfg -> check_bool "seed valid" true (Ft_schedule.Space.valid space cfg))
     seeds
 
+(* --- checkpoints --- *)
+
+let checkpoint_of ?(run_id = "g|gemm|V100|Q-method|seed=1") ?(trial = 5)
+    ?(best = 123.456) () =
+  {
+    Checkpoint.run_id;
+    trial;
+    n_evals = 42;
+    clock_s = 12.75;
+    best_value = best;
+    config = "s=4,1,32,1;8,1,16,1 r=8,1,16 o=0";
+    rng_state = 0x9E3779B97F4A7C15L;
+  }
+
+let test_checkpoint_roundtrip () =
+  let ck = checkpoint_of () in
+  match Checkpoint.of_json (Checkpoint.to_json ck) with
+  | Ok parsed ->
+      check_string "run_id" ck.run_id parsed.Checkpoint.run_id;
+      check_int "trial" ck.trial parsed.trial;
+      check_int "n_evals" ck.n_evals parsed.n_evals;
+      check_bool "best bit-for-bit" true
+        (Int64.equal
+           (Int64.bits_of_float ck.best_value)
+           (Int64.bits_of_float parsed.best_value));
+      check_string "config" ck.config parsed.config;
+      (* int64 RNG state cannot travel as a JSON double — it must
+         round-trip exactly through the decimal-string encoding. *)
+      check_bool "rng state exact" true (Int64.equal ck.rng_state parsed.rng_state)
+  | Error msg -> Alcotest.fail msg
+
+let qcheck_checkpoint_rng_roundtrip =
+  QCheck.Test.make ~name:"any int64 rng state roundtrips" ~count:200
+    QCheck.int64 (fun state ->
+      match
+        Checkpoint.of_json
+          (Checkpoint.to_json { (checkpoint_of ()) with rng_state = state })
+      with
+      | Ok parsed -> Int64.equal state parsed.Checkpoint.rng_state
+      | Error _ -> false)
+
+let test_checkpoint_latest_tolerant () =
+  let path = temp_log () in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Checkpoint.append path (checkpoint_of ~trial:2 ~best:10. ());
+      Checkpoint.append path (checkpoint_of ~run_id:"other|run" ~trial:9 ());
+      Checkpoint.append path (checkpoint_of ~trial:6 ~best:30. ());
+      (* a torn final line, as a crash mid-append would leave *)
+      let oc = open_out_gen [ Open_append ] 0o644 path in
+      output_string oc "{\"run\":\"torn";
+      close_out oc;
+      let ck, issues =
+        Checkpoint.latest ~run_id:"g|gemm|V100|Q-method|seed=1" path
+      in
+      (match ck with
+      | Some ck ->
+          check_int "newest matching wins" 6 ck.Checkpoint.trial;
+          Alcotest.(check (float 0.)) "its best" 30. ck.best_value
+      | None -> Alcotest.fail "expected a checkpoint");
+      check_int "torn line reported, not fatal" 1 (List.length issues);
+      check_bool "missing file is an empty trail" true
+        (Checkpoint.latest ~run_id:"x" "/nonexistent/never.jsonl" = (None, [])))
+
 (* --- store invisibility: logging must never change search results --- *)
 
 let search_with ?store ?(reuse = false) ?(n_parallel = 1) graph =
@@ -353,6 +418,13 @@ let () =
         [
           Alcotest.test_case "best exact" `Quick test_best_exact;
           Alcotest.test_case "nearest" `Quick test_nearest;
+        ] );
+      ( "checkpoints",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_checkpoint_roundtrip;
+          QCheck_alcotest.to_alcotest qcheck_checkpoint_rng_roundtrip;
+          Alcotest.test_case "latest tolerant" `Quick
+            test_checkpoint_latest_tolerant;
         ] );
       ( "transfer",
         [
