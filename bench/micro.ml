@@ -34,16 +34,103 @@ let tests () =
       (Staged.stage (fun () -> Ft_schedule.Space.features conv_space cfg));
     Test.make ~name:"q-network forward"
       (Staged.stage (fun () -> Ft_nn.Network.forward net features));
-    Test.make ~name:"config key"
+    Test.make ~name:"config key (memoized)"
       (Staged.stage (fun () -> Ft_schedule.Config.key cfg));
+    Test.make ~name:"config key (fresh)"
+      (Staged.stage (fun () -> Ft_schedule.Config.compute_key cfg));
   ]
+
+(* -- batched kernels -------------------------------------------------
+   The flat Bigarray kernels behind [forward_batch]/[predict_batch]:
+   GEMM throughput by batch size, and ns-per-candidate of the batched
+   frontier scoring paths against their scalar loops (same floats, see
+   test_nn/test_gbt). *)
+
+let time_ns_per f reps per =
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    f ()
+  done;
+  (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int (reps * per)
+
+let gemm_gflops_by_batch () =
+  let k = 64 and n = 64 in
+  let bt = Ft_linalg.Linalg.mat n k in
+  List.map
+    (fun m ->
+      let a = Ft_linalg.Linalg.mat m k and c = Ft_linalg.Linalg.mat m n in
+      let reps = max 8 (65536 / m) in
+      let ns =
+        time_ns_per
+          (fun () -> Ft_linalg.Linalg.gemm_bt ~a ~bt ~c ())
+          reps 1
+      in
+      let flops = float_of_int (2 * m * n * k) in
+      (m, flops /. ns))
+    [ 16; 64; 256; 1024 ]
+
+let q_forward_ns_per_candidate () =
+  let rng = Ft_util.Rng.create 7 in
+  let cfgs =
+    Array.init 1024 (fun _ -> Ft_schedule.Space.random_config rng conv_space)
+  in
+  let feats = Array.map (Ft_schedule.Space.features conv_space) cfgs in
+  let dim = Array.length feats.(0) in
+  let net = Ft_nn.Network.mlp (Ft_util.Rng.create 8) ~dims:[| dim; 64; 64; 64; 32 |] in
+  let n = Array.length feats in
+  let scalar =
+    time_ns_per
+      (fun () -> Array.iter (fun f -> ignore (Ft_nn.Network.forward net f)) feats)
+      4 n
+  in
+  let batched =
+    time_ns_per (fun () -> ignore (Ft_nn.Network.forward_batch net feats)) 4 n
+  in
+  (scalar, batched)
+
+let boost_ns_per_candidate () =
+  let rng = Ft_util.Rng.create 9 in
+  let xs =
+    Array.init 256 (fun _ -> Array.init 16 (fun _ -> Ft_util.Rng.float rng 1.))
+  in
+  let ys = Array.map (Array.fold_left ( +. ) 0.) xs in
+  let model = Ft_gbt.Boost.fit ~rounds:20 ~depth:3 xs ys in
+  let queries =
+    Array.init 1024 (fun _ -> Array.init 16 (fun _ -> Ft_util.Rng.float rng 1.))
+  in
+  let n = Array.length queries in
+  let scalar =
+    time_ns_per
+      (fun () -> Array.iter (fun q -> ignore (Ft_gbt.Boost.predict model q)) queries)
+      8 n
+  in
+  let batched =
+    time_ns_per (fun () -> ignore (Ft_gbt.Boost.predict_batch model queries)) 8 n
+  in
+  (scalar, batched)
 
 (* Batched evaluation throughput on the C8 space: the same distinct
    candidate list pushed through [Evaluator.measure_batch] at several
    pool sizes.  The search results are identical by construction (see
    test_par); only evaluations/second moves. *)
 
-let throughput_candidates = 8192
+(* FT_BENCH_CANDIDATES shrinks the throughput sweep for smoke runs
+   (CI runs the whole benchmark on a small sweep just to validate the
+   JSON and the no-slowdown gate). *)
+let throughput_candidates =
+  match Sys.getenv_opt "FT_BENCH_CANDIDATES" with
+  | None -> 8192
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | Some _ | None ->
+          Printf.eprintf
+            "warning: ignoring FT_BENCH_CANDIDATES=%S (expected a positive \
+             integer)\n\
+             %!"
+            s;
+          8192)
+
 let throughput_batch = 512
 
 let distinct_configs n =
@@ -128,7 +215,7 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let write_json ~ns_rows ~sequential ~wall ~simulated path =
+let write_json ~ns_rows ~gemm ~qf ~boost ~sequential ~wall ~simulated path =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
   let obj ?(indent = "    ") fmt_value kv_list =
@@ -143,6 +230,19 @@ let write_json ~ns_rows ~sequential ~wall ~simulated path =
     (Domain.recommended_domain_count ());
   out "  \"ns_per_call\": {\n";
   obj (out "%s") ns_rows;
+  out "  },\n  \"batched_kernels\": {\n";
+  out "    \"gemm_gflops\": {\n";
+  obj ~indent:"      " (out "%.2f")
+    (List.map (fun (m, gflops) -> (Printf.sprintf "b%d" m, gflops)) gemm);
+  out "    },\n";
+  let scalar_vs_batched name (scalar, batched) last =
+    out "    \"%s\": {\n" name;
+    obj ~indent:"      " (out "%.2f")
+      [ ("scalar", scalar); ("batched", batched); ("speedup", scalar /. batched) ];
+    out "    }%s\n" (if last then "" else ",")
+  in
+  scalar_vs_batched "q_forward_ns_per_candidate" qf false;
+  scalar_vs_batched "boost_predict_ns_per_candidate" boost true;
   out "  },\n  \"batched_eval\": {\n    \"candidates\": %d,\n    \"batch\": %d,\n"
     throughput_candidates throughput_batch;
   out "    \"sequential_evals_per_sec\": %.1f,\n" sequential;
@@ -186,6 +286,23 @@ let run () =
   let ns_rows = List.sort compare !rows in
   Ft_util.Table.print ~header:[ "hot path"; "ns/call" ]
     (List.map (fun (a, b) -> [ a; b ]) ns_rows);
+  Bench_common.subsection "batched kernels (Bigarray hot paths)";
+  let gemm = gemm_gflops_by_batch () in
+  let qf = q_forward_ns_per_candidate () in
+  let boost = boost_ns_per_candidate () in
+  Ft_util.Table.print ~header:[ "GEMM batch (m x 64 x 64)"; "GFLOP/s" ]
+    (List.map
+       (fun (m, gflops) -> [ string_of_int m; Printf.sprintf "%.2f" gflops ])
+       gemm);
+  Ft_util.Table.print
+    ~header:[ "frontier scoring"; "scalar ns/cand"; "batched ns/cand"; "speedup" ]
+    (List.map
+       (fun (name, (scalar, batched)) ->
+         [ name;
+           Printf.sprintf "%.0f" scalar;
+           Printf.sprintf "%.0f" batched;
+           Printf.sprintf "%.2fx" (scalar /. batched) ])
+       [ ("q-network forward", qf); ("boost predict", boost) ]);
   Bench_common.subsection "batched evaluation throughput (C8 space)";
   let sequential, wall, simulated = measure_throughput () in
   let base = List.assoc 1 wall in
@@ -207,5 +324,6 @@ let run () =
        (fun (n, rate) ->
          [ Printf.sprintf "n_parallel %d" n; Printf.sprintf "%.1f" rate ])
        simulated);
-  write_json ~ns_rows ~sequential ~wall ~simulated "BENCH_micro.json";
+  write_json ~ns_rows ~gemm ~qf ~boost ~sequential ~wall ~simulated
+    "BENCH_micro.json";
   print_endline "\n[wrote BENCH_micro.json]"

@@ -100,6 +100,7 @@ let to_config (space : Space.t) knobs =
     vectorize;
     inline = true;
     partition_id = 0;
+    key_memo = None;
   }
 
 let random_spatial_split template rng extent =
@@ -199,12 +200,23 @@ let policy ~template ~batch ~population : (module Ft_explore.Search_loop.POLICY)
           in
           Ft_explore.Evaluator.charge evaluator
             (float_of_int population *. scoring_cost_per_candidate);
-          let scored =
+          (* The whole population is featurized and scored in one
+             batched call — one flat matrix through the flattened
+             forest instead of [population] boxed tree walks.  Scores
+             are bit-for-bit those of the scalar [predict]. *)
+          let candidates =
             List.map
               (fun knobs ->
                 let cfg = to_config space knobs in
-                (knobs, cfg, Ft_gbt.Boost.predict model (Space.features space cfg)))
+                (knobs, cfg, Space.features space cfg))
               proposals
+          in
+          let scores =
+            Ft_gbt.Boost.predict_batch model
+              (Array.of_list (List.map (fun (_, _, f) -> f) candidates))
+          in
+          let scored =
+            List.mapi (fun i (knobs, cfg, _) -> (knobs, cfg, scores.(i))) candidates
           in
           let ranked = List.sort (fun (_, _, a) (_, _, b) -> compare b a) scored in
           let fresh =

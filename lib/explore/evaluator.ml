@@ -258,9 +258,11 @@ let prepare t keyed =
   List.iter2
     (fun (_, key) entry -> Hashtbl.replace computed key entry)
     to_compute entries;
-  if Ft_obs.Trace.active () then
+  if Ft_obs.Trace.active () then begin
     Ft_obs.Trace.event "eval.batch"
       [ ("n", Int (List.length keyed)); ("fresh", Int (List.length to_compute)) ];
+    Ft_obs.Trace.gauge "eval.batch_size" (float_of_int (List.length keyed))
+  end;
   { computed; wave_len = 0; wave_max = 0. }
 
 let flush t batch =

@@ -1,26 +1,28 @@
 type t = {
   rho : float;
   eps : float;
-  g2 : float array;  (* running average of squared gradients *)
-  d2 : float array;  (* running average of squared updates *)
+  g2 : Ft_linalg.Linalg.vec;  (* running average of squared gradients *)
+  d2 : Ft_linalg.Linalg.vec;  (* running average of squared updates *)
 }
 
 let create ?(rho = 0.95) ?(eps = 1e-6) n =
-  { rho; eps; g2 = Array.make n 0.; d2 = Array.make n 0. }
+  { rho; eps; g2 = Ft_linalg.Linalg.vec n; d2 = Ft_linalg.Linalg.vec n }
 
 (* AdaDelta (Zeiler 2012): parameter-wise adaptive step with no global
    learning rate — the update magnitude is the ratio of RMS(previous
-   updates) to RMS(gradients). *)
-let update state ~params ~grads =
-  let n = Array.length params in
-  if Array.length grads <> n || Array.length state.g2 <> n then
+   updates) to RMS(gradients).  Parameters and gradients live in flat
+   Bigarray storage (views over the network's weight matrices). *)
+let update state ~(params : Ft_linalg.Linalg.vec) ~(grads : Ft_linalg.Linalg.vec) =
+  let open Bigarray.Array1 in
+  let n = dim params in
+  if dim grads <> n || dim state.g2 <> n then
     invalid_arg "Adadelta.update: size mismatch";
   for i = 0 to n - 1 do
-    let g = grads.(i) in
-    state.g2.(i) <- (state.rho *. state.g2.(i)) +. ((1. -. state.rho) *. g *. g);
-    let step =
-      -.(sqrt (state.d2.(i) +. state.eps) /. sqrt (state.g2.(i) +. state.eps)) *. g
-    in
-    state.d2.(i) <- (state.rho *. state.d2.(i)) +. ((1. -. state.rho) *. step *. step);
-    params.(i) <- params.(i) +. step
+    let g = unsafe_get grads i in
+    let g2 = (state.rho *. unsafe_get state.g2 i) +. ((1. -. state.rho) *. g *. g) in
+    unsafe_set state.g2 i g2;
+    let step = -.(sqrt (unsafe_get state.d2 i +. state.eps) /. sqrt (g2 +. state.eps)) *. g in
+    unsafe_set state.d2 i
+      ((state.rho *. unsafe_get state.d2 i) +. ((1. -. state.rho) *. step *. step));
+    unsafe_set params i (unsafe_get params i +. step)
   done

@@ -1,5 +1,6 @@
 (** AdaDelta optimizer (Zeiler 2012), as used to train the paper's
-    Q-network (§5.1). *)
+    Q-network (§5.1).  Operates on flat [Bigarray] float64 vectors —
+    typically views over a network's weight matrices. *)
 
 type t
 
@@ -7,4 +8,5 @@ val create : ?rho:float -> ?eps:float -> int -> t
 
 (** In-place parameter update from gradients; sizes must match the
     state's. *)
-val update : t -> params:float array -> grads:float array -> unit
+val update :
+  t -> params:Ft_linalg.Linalg.vec -> grads:Ft_linalg.Linalg.vec -> unit

@@ -11,6 +11,14 @@ val mlp : Ft_util.Rng.t -> dims:int array -> t
 
 val forward : t -> float array -> float array
 
+(** [forward_batch net inputs] scores a whole batch through one
+    cache-blocked GEMM per layer (flat Bigarray storage) instead of
+    [Array.length inputs] scalar forwards.  Row [r] of the result is
+    bit-for-bit equal to [forward net inputs.(r)] — the batched
+    kernel preserves the scalar summation order per element.
+    Inference only (does not populate the backward-pass caches). *)
+val forward_batch : t -> float array array -> float array array
+
 (** One training step on half squared error of a full output vector;
     returns the pre-update loss. *)
 val train_mse : t -> input:float array -> target:float array -> float

@@ -56,6 +56,11 @@ val close : unit -> unit
     construction is itself costly. *)
 val active : unit -> bool
 
+(** Seconds since the sink was installed (the clock behind every
+    record's [ts_s]) — for instrumentation that accumulates durations
+    into counters.  Only meaningful while {!active}. *)
+val now_s : unit -> float
+
 val event : string -> (string * field) list -> unit
 
 (** Add to a named counter (in memory; totals are emitted by

@@ -5,6 +5,7 @@
 
 type t = {
   jobs : int;  (* lanes, including the calling domain *)
+  requested : int;  (* pre-clamp lane request (default-pool reuse key) *)
   mutex : Mutex.t;
   work_ready : Condition.t;
   work_done : Condition.t;
@@ -13,6 +14,9 @@ type t = {
   mutable pending : int;  (* workers still inside the current region *)
   mutable stopped : bool;
   mutable domains : unit Domain.t list;
+  (* EWMA of per-task cost in ns, measured across regions; 0 until the
+     first parallel region.  Written only by the calling domain. *)
+  mutable task_ns : float;
 }
 
 let worker pool lane =
@@ -39,11 +43,22 @@ let worker pool lane =
   in
   loop ()
 
-let create jobs =
-  let jobs = max 1 jobs in
+(* OCaml's minor GC is stop-the-world across domains: running more
+   domains than cores does not just waste time, it multiplies every
+   minor collection into a cross-domain synchronization storm (a -j 4
+   pool on one core runs ~2x *slower* than -j 1).  So lane counts are
+   clamped to the machine by default; [~oversubscribe:true] opts out
+   for callers that genuinely need the domain count (the pool-size
+   determinism tests). *)
+let host_cores () = max 1 (Domain.recommended_domain_count ())
+
+let create ?(oversubscribe = false) jobs =
+  let requested = max 1 jobs in
+  let jobs = if oversubscribe then requested else min requested (host_cores ()) in
   let pool =
     {
       jobs;
+      requested;
       mutex = Mutex.create ();
       work_ready = Condition.create ();
       work_done = Condition.create ();
@@ -52,6 +67,7 @@ let create jobs =
       pending = 0;
       stopped = false;
       domains = [];
+      task_ns = 0.;
     }
   in
   pool.domains <-
@@ -94,8 +110,36 @@ let run pool body =
 
 (* Chunks are contiguous index ranges so each lane touches adjacent
    slots (cache-friendly) and small enough that lanes rebalance when
-   task costs are skewed. *)
-let chunk_bound n jobs = max 1 (min 32 (n / (jobs * 4)))
+   task costs are skewed.  Size is amortized against the measured
+   per-task cost: one grab of the shared atomic counter should cover
+   at least [amortize_ns] of work, but never so much that a lane holds
+   more than a quarter of its fair share in one grab.  [FT_CHUNK]
+   pins the size for experiments. *)
+let amortize_ns = 200_000.
+
+let warned_env_chunk = ref false
+
+let env_chunk () =
+  match Sys.getenv_opt "FT_CHUNK" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> Some n
+      | Some _ | None ->
+          if not !warned_env_chunk then begin
+            warned_env_chunk := true;
+            Printf.eprintf
+              "warning: ignoring FT_CHUNK=%S (expected a positive integer)\n%!" s
+          end;
+          None)
+
+let chunk_bound pool n =
+  match env_chunk () with
+  | Some c -> c
+  | None ->
+      let balance = max 1 (n / (pool.jobs * 4)) in
+      if pool.task_ns <= 0. then max 1 (min 32 balance)
+      else max 1 (min balance (int_of_float (amortize_ns /. pool.task_ns)))
 
 let raw_map pool f xs =
   match xs with
@@ -114,7 +158,7 @@ let raw_map pool f xs =
           out.(i) <- protect i
         done
       else begin
-        let chunk = chunk_bound n pool.jobs in
+        let chunk = chunk_bound pool n in
         let n_chunks = (n + chunk - 1) / chunk in
         let next = Atomic.make 0 in
         (* Telemetry: region wall-time as a span, per-lane task counts
@@ -135,6 +179,8 @@ let raw_map pool f xs =
           else 0
         in
         Ft_obs.Trace.incr "pool.regions";
+        if traced then Ft_obs.Trace.gauge "pool.chunk_size" (float_of_int chunk);
+        let t0 = Unix.gettimeofday () in
         run pool (fun lane ->
             let mine = ref 0 in
             let rec grab () =
@@ -150,6 +196,18 @@ let raw_map pool f xs =
             in
             grab ();
             if traced then lane_tasks.(lane) <- !mine);
+        (* Update the per-task cost estimate: region wall-time spread
+           over [jobs] lanes approximates total CPU, so wall * jobs / n
+           is the per-task cost the next region's chunking amortizes
+           against.  Written only here, on the calling domain. *)
+        let per_task =
+          (Unix.gettimeofday () -. t0) *. 1e9 *. float_of_int pool.jobs
+          /. float_of_int n
+        in
+        if per_task > 0. then
+          pool.task_ns <-
+            (if pool.task_ns <= 0. then per_task
+             else (0.7 *. pool.task_ns) +. (0.3 *. per_task));
         if traced then
           Ft_obs.Trace.span_end span
             ~fields:
@@ -217,7 +275,7 @@ let default_pool = ref None
 let default () =
   let jobs = default_jobs () in
   match !default_pool with
-  | Some pool when pool.jobs = jobs && not pool.stopped -> pool
+  | Some pool when pool.requested = jobs && not pool.stopped -> pool
   | Some pool ->
       shutdown pool;
       let pool = create jobs in

@@ -14,8 +14,13 @@
 type t
 
 (** [create jobs] builds a pool with [jobs] lanes ([jobs - 1] spawned
-    worker domains).  [jobs] is clamped to at least 1. *)
-val create : int -> t
+    worker domains).  [jobs] is clamped to at least 1 and — because
+    OCaml's stop-the-world minor GC makes domain oversubscription
+    catastrophically slow — to at most
+    [Domain.recommended_domain_count ()].  [~oversubscribe:true] skips
+    the upper clamp for callers that need the exact domain count (the
+    pool-size determinism tests). *)
+val create : ?oversubscribe:bool -> int -> t
 
 (** Number of lanes (worker domains + the calling domain). *)
 val lanes : t -> int
@@ -39,7 +44,11 @@ val set_default_jobs : int -> unit
 val default : unit -> t
 
 (** [map pool f xs] is [List.map f xs] computed on the pool's lanes in
-    contiguous chunks; the result preserves input order.  If any
+    contiguous chunks.  Chunk size is amortized against an EWMA of the
+    measured per-task cost (one grab of the shared work counter should
+    cover ~0.2 ms of work) and can be pinned with the [FT_CHUNK]
+    environment variable; neither affects results, only scheduling.
+    The result preserves input order.  If any
     application of [f] raised, the exception of the smallest-index
     failing task is re-raised (with its backtrace) after all tasks
     have finished. *)

@@ -34,9 +34,19 @@ val create :
 (** Online-network Q-values of every action at a state. *)
 val q_values : t -> float array -> float array
 
+(** One batched online-network forward: row [i] is bit-for-bit
+    [q_values t states.(i)].  Consumes no RNG, so a frontier's rows
+    can be precomputed without perturbing the epsilon-greedy draws. *)
+val q_values_batch : t -> float array array -> float array array
+
 (** Epsilon-greedy choice among the valid action indices; [None] when
     no action is valid. *)
 val select : t -> state:float array -> valid:int list -> int option
+
+(** Like {!select} with a caller-supplied Q row (usually one row of
+    {!q_values_batch}); the lazy is only forced on the greedy branch,
+    matching {!select}'s RNG draw sequence exactly. *)
+val select_scored : t -> q:float array Lazy.t -> valid:int list -> int option
 
 (** Store a transition; every [train_every] calls this also runs a
     training round and returns its mean loss. *)

@@ -7,6 +7,7 @@ type t = {
   vectorize : bool;
   inline : bool;
   partition_id : int;
+  mutable key_memo : string option;
 }
 
 let copy cfg =
@@ -14,6 +15,7 @@ let copy cfg =
     cfg with
     spatial = Array.map Array.copy cfg.spatial;
     reduce = Array.map Array.copy cfg.reduce;
+    key_memo = None;
   }
 
 let level factors idx = Array.map (fun parts -> parts.(idx)) factors
@@ -35,9 +37,13 @@ let order_perm id =
   order_perms.(id)
 
 (* Called once per point per search step (visited set, eval cache), so
-   no intermediate strings and no Printf. *)
-let key cfg =
-  let buf = Buffer.create 96 in
+   no intermediate strings and no Printf.  The buffer is reused across
+   calls within a domain; only the final [Buffer.contents] allocates. *)
+let key_buf = Domain.DLS.new_key (fun () -> Buffer.create 128)
+
+let compute_key cfg =
+  let buf = Domain.DLS.get key_buf in
+  Buffer.clear buf;
   let add_int n =
     Buffer.add_string buf (string_of_int n)
   in
@@ -69,7 +75,23 @@ let key cfg =
   add_field 'p' cfg.partition_id;
   Buffer.contents buf
 
-let equal a b = String.equal (key a) (key b)
+(* Frontiers key the same config many times (visited set, eval cache,
+   repository lookups), so the key is memoized on the record.  Every
+   construction and mutation path resets the memo; concurrent first
+   calls from two domains race benignly — both compute the identical
+   string. *)
+let key cfg =
+  match cfg.key_memo with
+  | Some k -> k
+  | None ->
+      let k = compute_key cfg in
+      cfg.key_memo <- Some k;
+      k
+
+(* Equality bypasses the memo: it is off the hot path (frontiers hash
+   on [key]) and must stay truthful even on a record mutated in place
+   after its key was computed. *)
+let equal a b = String.equal (compute_key a) (compute_key b)
 
 let pp fmt cfg =
   let pp_factors fmt factors =

@@ -28,6 +28,10 @@ type t = {
   vectorize : bool;
   inline : bool;
   partition_id : int;
+  mutable key_memo : string option;
+      (** Lazily cached [key]; always construct with [None].  Functional
+          updates ([{ cfg with ... }]) must also reset it to [None], or
+          the copy inherits a stale key. *)
 }
 
 val copy : t -> t
@@ -43,8 +47,14 @@ val product_level : int array array -> int -> int
     1 = reduce-outer, 2 = reduce-middle. *)
 val order_perm : int -> int array
 
-(** Canonical string key (for visited-set deduplication). *)
+(** Canonical string key (for visited-set deduplication).  Memoized on
+    the record: the first call serializes through a per-domain reused
+    buffer, later calls return the cached string. *)
 val key : t -> string
+
+(** Always-fresh serialization, bypassing the memo — [key] equals this
+    on every sound mutation path. *)
+val compute_key : t -> string
 
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

@@ -76,6 +76,7 @@ let of_string text =
       vectorize = int_of_string (field fields "v") <> 0;
       inline = int_of_string (field fields "i") <> 0;
       partition_id = int_of_string (field fields "p");
+      key_memo = None;
     }
   with
   | cfg -> Ok cfg

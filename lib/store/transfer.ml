@@ -58,6 +58,7 @@ let refit space (cfg : Config.t) =
           vectorize = cfg.vectorize;
           inline = (if space.has_producers then cfg.inline else true);
           partition_id = clamp 0 (Array.length Space.partitions - 1) cfg.partition_id;
+          key_memo = None;
         }
       in
       if Space.valid space refitted then Some refitted else None

@@ -12,10 +12,10 @@ let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 let check_clock = Alcotest.(check (float 1e-9))
 
-let pool1 = Ft_par.Pool.create 1
-let pool2 = Ft_par.Pool.create 2
-let pool4 = Ft_par.Pool.create 4
-let pool8 = Ft_par.Pool.create 8
+let pool1 = Ft_par.Pool.create ~oversubscribe:true 1
+let pool2 = Ft_par.Pool.create ~oversubscribe:true 2
+let pool4 = Ft_par.Pool.create ~oversubscribe:true 4
+let pool8 = Ft_par.Pool.create ~oversubscribe:true 8
 
 let gemm_space () = Space.make (Ft_ir.Operators.gemm ~m:64 ~n:64 ~k:64) Target.v100
 let temp_ck () = Filename.temp_file "ft_fault_ck" ".jsonl"

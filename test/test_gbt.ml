@@ -53,6 +53,42 @@ let test_boost_generalizes_ranking () =
   done;
   check_bool "ranks 80%+ of pairs" true (!correct > 80)
 
+(* The batched-scoring contract: [predict_batch] through the
+   flattened forest must match the scalar [predict] to the bit on
+   every row — same leaves, same accumulation order.  Random dataset
+   shapes, depths, round counts, and query batches. *)
+let qcheck_predict_batch_equals_scalar =
+  let gen =
+    QCheck.Gen.(
+      let* seed = int_range 0 1_000_000 in
+      let* n = int_range 1 60 in
+      let* dim = int_range 1 6 in
+      let* rounds = int_range 0 12 in
+      let* depth = int_range 0 4 in
+      let* batch = int_range 1 40 in
+      return (seed, n, dim, rounds, depth, batch))
+  in
+  QCheck.Test.make ~name:"predict_batch bit-equals scalar predict" ~count:60
+    (QCheck.make gen)
+    (fun (seed, n, dim, rounds, depth, batch) ->
+      let rng = Ft_util.Rng.create seed in
+      let sample () = Array.init dim (fun _ -> Ft_util.Rng.float rng 2.0 -. 1.0) in
+      let xs = Array.init n (fun _ -> sample ()) in
+      let ys =
+        Array.map
+          (fun x -> Array.fold_left ( +. ) (Ft_util.Rng.float rng 0.1) x)
+          xs
+      in
+      let model = Ft_gbt.Boost.fit ~rounds ~depth xs ys in
+      let queries = Array.init batch (fun _ -> sample ()) in
+      let batched = Ft_gbt.Boost.predict_batch model queries in
+      Array.length batched = batch
+      && Array.for_all2
+           (fun b q ->
+             Int64.equal (Int64.bits_of_float b)
+               (Int64.bits_of_float (Ft_gbt.Boost.predict model q)))
+           batched queries)
+
 let () =
   Alcotest.run "ft_gbt"
     [
@@ -66,5 +102,6 @@ let () =
           Alcotest.test_case "reduces mse" `Quick test_boost_reduces_mse;
           Alcotest.test_case "edge cases" `Quick test_boost_empty_and_mismatch;
           Alcotest.test_case "ranking" `Quick test_boost_generalizes_ranking;
+          QCheck_alcotest.to_alcotest qcheck_predict_batch_equals_scalar;
         ] );
     ]

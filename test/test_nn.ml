@@ -62,16 +62,23 @@ let test_copy_params_makes_forward_equal () =
 let test_adadelta_minimizes_quadratic () =
   (* Minimize f(x) = (x - 3)^2 with gradient 2(x - 3). *)
   let state = Ft_nn.Adadelta.create 1 in
-  let params = [| 10. |] in
+  let params = Ft_linalg.Linalg.vec_of_array [| 10. |] in
   for _ = 1 to 5000 do
-    Ft_nn.Adadelta.update state ~params ~grads:[| 2. *. (params.(0) -. 3.) |]
+    Ft_nn.Adadelta.update state ~params
+      ~grads:
+        (Ft_linalg.Linalg.vec_of_array
+           [| 2. *. (Bigarray.Array1.get params 0 -. 3.) |])
   done;
-  check_bool "converged near 3" true (Float.abs (params.(0) -. 3.) < 0.5)
+  check_bool "converged near 3" true
+    (Float.abs (Bigarray.Array1.get params 0 -. 3.) < 0.5)
 
 let test_adadelta_size_mismatch () =
   let state = Ft_nn.Adadelta.create 2 in
   Alcotest.check_raises "mismatch" (Invalid_argument "Adadelta.update: size mismatch")
-    (fun () -> Ft_nn.Adadelta.update state ~params:[| 1. |] ~grads:[| 1. |])
+    (fun () ->
+      Ft_nn.Adadelta.update state
+        ~params:(Ft_linalg.Linalg.vec_of_array [| 1. |])
+        ~grads:(Ft_linalg.Linalg.vec_of_array [| 1. |]))
 
 let test_mlp_rejects_bad_dims () =
   let rng = Ft_util.Rng.create 1 in
@@ -87,6 +94,46 @@ let qcheck_forward_finite =
       let net = Ft_nn.Network.mlp rng ~dims:[| 4; 8; 8; 8; 2 |] in
       Array.for_all Float.is_finite (Ft_nn.Network.forward net (Array.of_list xs)))
 
+(* The batched-hot-path contract: [forward_batch] through the blocked
+   GEMM must match the scalar forward to the bit (0 ulp) on every row
+   — the blocked kernel pins the scalar summation order, so this is
+   exact equality, not a tolerance.  Random depths, widths, batch
+   sizes, and inputs; also re-checked after training steps so changed
+   weights flow into the batched path. *)
+let qcheck_forward_batch_equals_scalar =
+  let gen =
+    QCheck.Gen.(
+      let* n_layers = int_range 1 4 in
+      let* dims = list_repeat (n_layers + 1) (int_range 1 13) in
+      let* batch = int_range 1 33 in
+      let* seed = int_range 0 1_000_000 in
+      let* train_steps = int_range 0 3 in
+      return (dims, batch, seed, train_steps))
+  in
+  QCheck.Test.make ~name:"forward_batch bit-equals scalar forward" ~count:60
+    (QCheck.make gen)
+    (fun (dims, batch, seed, train_steps) ->
+      let dims = Array.of_list dims in
+      let rng = Ft_util.Rng.create seed in
+      let net = Ft_nn.Network.mlp rng ~dims in
+      let n_in = dims.(0) and n_out = dims.(Array.length dims - 1) in
+      let sample n = Array.init n (fun _ -> Ft_util.Rng.float rng 4.0 -. 2.0) in
+      for _ = 1 to train_steps do
+        ignore (Ft_nn.Network.train_mse net ~input:(sample n_in) ~target:(sample n_out))
+      done;
+      let inputs = Array.init batch (fun _ -> sample n_in) in
+      let batched = Ft_nn.Network.forward_batch net inputs in
+      Array.length batched = batch
+      && Array.for_all2
+           (fun row input ->
+             let scalar = Ft_nn.Network.forward net input in
+             Array.length row = Array.length scalar
+             && Array.for_all2
+                  (fun a b ->
+                    Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b))
+                  row scalar)
+           batched inputs)
+
 let () =
   Alcotest.run "ft_nn"
     [
@@ -100,6 +147,7 @@ let () =
             test_copy_params_makes_forward_equal;
           Alcotest.test_case "bad dims" `Quick test_mlp_rejects_bad_dims;
           QCheck_alcotest.to_alcotest qcheck_forward_finite;
+          QCheck_alcotest.to_alcotest qcheck_forward_batch_equals_scalar;
         ] );
       ( "adadelta",
         [

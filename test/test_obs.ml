@@ -223,12 +223,37 @@ let test_jsonl_well_formed () =
 
 (* -- determinism: tracing never changes search results ---------------- *)
 
-let pool1 = Ft_par.Pool.create 1
-let pool4 = Ft_par.Pool.create 4
+let pool1 = Ft_par.Pool.create ~oversubscribe:true 1
+let pool4 = Ft_par.Pool.create ~oversubscribe:true 4
 
 let gemm_space () =
   Ft_schedule.Space.make (Ft_ir.Operators.gemm ~m:64 ~n:64 ~k:64)
     Ft_schedule.Target.v100
+
+(* The batched hot paths surface their shape in telemetry: chunked
+   pool regions set [pool.chunk_size], batched evaluation sets
+   [eval.batch_size], and the batched MLP forward accumulates
+   [nn.gemm_ns] — all of which land in the [--trace] summary table. *)
+let test_batched_telemetry_names () =
+  Trace.close ();
+  let path = Filename.temp_file "ft_obs_batch" ".jsonl" in
+  Trace.enable_jsonl path;
+  ignore (Ft_par.Pool.map pool4 succ (List.init 64 Fun.id));
+  let net = Ft_nn.Network.mlp (Ft_util.Rng.create 1) ~dims:[| 4; 8; 3 |] in
+  ignore (Ft_nn.Network.forward_batch net (Array.make 5 [| 1.; 2.; 3.; 4. |]));
+  let space = gemm_space () in
+  let rng = Ft_util.Rng.create 2 in
+  let evaluator = Ft_explore.Evaluator.create ~pool:pool4 space in
+  ignore
+    (Ft_explore.Evaluator.measure_batch evaluator
+       (List.init 8 (fun _ -> Ft_schedule.Space.random_config rng space)));
+  let gauges = List.map fst (Trace.gauges ()) in
+  let counters = List.map fst (Trace.counters ()) in
+  Trace.close ();
+  Sys.remove path;
+  check_bool "pool.chunk_size gauge" true (List.mem "pool.chunk_size" gauges);
+  check_bool "eval.batch_size gauge" true (List.mem "eval.batch_size" gauges);
+  check_bool "nn.gemm_ns counter" true (List.mem "nn.gemm_ns" counters)
 
 let result_fingerprint (r : Ft_explore.Driver.result) =
   ( Ft_schedule.Config.key r.best_config,
@@ -288,6 +313,8 @@ let () =
           Alcotest.test_case "counters and gauges" `Quick test_counters_and_gauges;
           Alcotest.test_case "disabled is a no-op" `Quick test_disabled_is_noop;
           Alcotest.test_case "jsonl well-formed" `Quick test_jsonl_well_formed;
+          Alcotest.test_case "batched-path telemetry" `Quick
+            test_batched_telemetry_names;
         ] );
       ("determinism", [ qcheck test_tracing_is_invisible ]);
     ]

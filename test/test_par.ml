@@ -4,10 +4,10 @@ let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 
 (* Shared pools so the suite spawns domains once, not per test case. *)
-let pool1 = Ft_par.Pool.create 1
-let pool2 = Ft_par.Pool.create 2
-let pool4 = Ft_par.Pool.create 4
-let pool8 = Ft_par.Pool.create 8
+let pool1 = Ft_par.Pool.create ~oversubscribe:true 1
+let pool2 = Ft_par.Pool.create ~oversubscribe:true 2
+let pool4 = Ft_par.Pool.create ~oversubscribe:true 4
+let pool8 = Ft_par.Pool.create ~oversubscribe:true 8
 let pools = [ pool1; pool2; pool4; pool8 ]
 
 let gemm_space () = Space.make (Ft_ir.Operators.gemm ~m:64 ~n:64 ~k:64) Target.v100
@@ -28,6 +28,38 @@ let test_map_ordering () =
 let test_map_empty_and_singleton () =
   Alcotest.(check (list int)) "empty" [] (Ft_par.Pool.map pool4 succ []);
   Alcotest.(check (list int)) "singleton" [ 8 ] (Ft_par.Pool.map pool4 succ [ 7 ])
+
+(* FT_CHUNK pins the work-unit size; a malformed value is ignored with
+   a warning.  Neither may change results — chunking is scheduling
+   only. *)
+let test_chunk_override_results_unchanged () =
+  let xs = List.init 123 Fun.id in
+  let expected = List.map (fun x -> x * 3) xs in
+  let with_env value f =
+    Unix.putenv "FT_CHUNK" value;
+    Fun.protect ~finally:(fun () -> Unix.putenv "FT_CHUNK" "") f
+  in
+  List.iter
+    (fun value ->
+      with_env value (fun () ->
+          List.iter
+            (fun pool ->
+              Alcotest.(check (list int))
+                (Printf.sprintf "FT_CHUNK=%s at %d lanes" value
+                   (Ft_par.Pool.lanes pool))
+                expected
+                (Ft_par.Pool.map pool (fun x -> x * 3) xs))
+            pools))
+    [ "1"; "7"; "1000"; "banana"; "0" ]
+
+(* Lane clamping: without [~oversubscribe] a pool never runs more
+   domains than the machine has cores; with it, the request wins. *)
+let test_lanes_clamped_to_cores () =
+  let cores = max 1 (Domain.recommended_domain_count ()) in
+  let big = Ft_par.Pool.create (cores + 7) in
+  check_int "clamped" cores (Ft_par.Pool.lanes big);
+  Ft_par.Pool.shutdown big;
+  check_int "oversubscribed pool keeps its lanes" 8 (Ft_par.Pool.lanes pool8)
 
 exception Boom of int
 
@@ -259,6 +291,10 @@ let () =
         [
           Alcotest.test_case "map ordering" `Quick test_map_ordering;
           Alcotest.test_case "map edge cases" `Quick test_map_empty_and_singleton;
+          Alcotest.test_case "FT_CHUNK override" `Quick
+            test_chunk_override_results_unchanged;
+          Alcotest.test_case "lanes clamped to cores" `Quick
+            test_lanes_clamped_to_cores;
           Alcotest.test_case "exception propagation" `Quick
             test_map_exception_propagation;
           Alcotest.test_case "try_map" `Quick test_try_map_captures_per_task;

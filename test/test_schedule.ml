@@ -286,6 +286,57 @@ let qcheck_config_io_roundtrip =
       | Ok parsed -> Config.equal cfg parsed
       | Error _ -> false)
 
+(* The visited set, the eval cache, and the schedule repository all
+   rely on [Config.key] separating distinct points and on the memoized
+   key never going stale.  Injectivity: two random configs share a key
+   exactly when they are structurally equal.  Freshness: after every
+   mutation path in the codebase (copy + in-place factor edits,
+   neighborhood moves), the memoized [key] matches a bypass
+   [compute_key] serialization. *)
+let structurally_equal (a : Config.t) (b : Config.t) =
+  a.spatial = b.spatial && a.reduce = b.reduce && a.order_id = b.order_id
+  && a.unroll_id = b.unroll_id
+  && a.fuse_levels = b.fuse_levels
+  && a.vectorize = b.vectorize && a.inline = b.inline
+  && a.partition_id = b.partition_id
+
+let qcheck_key_injective =
+  QCheck.Test.make ~name:"key injective on random config pairs" ~count:300
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Ft_util.Rng.create seed in
+      let space = conv_space (Ft_util.Rng.choose rng all_targets) in
+      let a = Space.random_config rng space in
+      let b = Space.random_config rng space in
+      String.equal (Config.key a) (Config.key b) = structurally_equal a b)
+
+let qcheck_key_memo_stays_fresh =
+  QCheck.Test.make ~name:"memoized key = fresh key on every mutation path"
+    ~count:100
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Ft_util.Rng.create seed in
+      let space = conv_space Target.v100 in
+      let cfg = Space.random_config rng space in
+      let fresh c = String.equal (Config.key c) (Config.compute_key c) in
+      (* memoize, then check the memo against a bypass serialization *)
+      ignore (Config.key cfg);
+      fresh cfg
+      (* copy resets the memo even when the source was memoized *)
+      && fresh (Config.copy cfg)
+      (* copy + in-place factor mutation (the neighborhood idiom) *)
+      && (let c = Config.copy cfg in
+          c.spatial.(0).(0) <- c.spatial.(0).(0) * 2;
+          fresh c)
+      (* every valid neighborhood move of a memoized config *)
+      && List.for_all (fun (_, next) -> fresh next)
+           (Neighborhood.neighbors space cfg)
+      (* the serialization round-trip constructs with an empty memo *)
+      &&
+      match Config_io.of_string (Config_io.to_string cfg) with
+      | Ok parsed -> fresh parsed && String.equal (Config.key parsed) (Config.key cfg)
+      | Error _ -> false)
+
 let () =
   Alcotest.run "ft_schedule"
     [
@@ -303,6 +354,8 @@ let () =
         [
           Alcotest.test_case "order perms" `Quick test_order_perms;
           Alcotest.test_case "key and copy" `Quick test_config_key_and_copy;
+          QCheck_alcotest.to_alcotest qcheck_key_injective;
+          QCheck_alcotest.to_alcotest qcheck_key_memo_stays_fresh;
         ] );
       ( "neighborhood",
         [
