@@ -21,6 +21,7 @@ let experiments =
     ("ablation", Ablation.run);
     ("micro", Micro.run);
     ("faults", Faults.run);
+    ("store", Store_bench.run);
   ]
 
 let () =

@@ -1,0 +1,235 @@
+open Ft_store
+
+(* `bench store`: the servable repository's hot paths.  Two questions:
+   (1) how much faster is the indexed [best_exact] than the O(n) fold
+   it replaced, at tuning-log scale (10k records); (2) what does the
+   daemon sustain — appends/sec and lookups/sec — at 1/4/16 concurrent
+   clients over the wire.  Results go to BENCH_store.json; CI gates
+   the speedup (>= 10x at 10k records) and that the service rates are
+   nonzero. *)
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some s -> (
+      match int_of_string_opt s with Some n when n > 0 -> n | _ -> default)
+  | None -> default
+
+(* FT_BENCH_STORE_RECORDS / FT_BENCH_STORE_OPS shrink the run for
+   smoke jobs; the defaults are the acceptance-scale numbers. *)
+let n_records () = env_int "FT_BENCH_STORE_RECORDS" 10_000
+let n_ops () = env_int "FT_BENCH_STORE_OPS" 2_000
+
+let n_shapes = 200
+
+(* Synthetic tuning-log records: one operator kind (one shard), many
+   shapes, realistic key/config text.  Built directly — no schedule
+   space needed to exercise the store. *)
+let key_of_shape i =
+  let m = 16 * (1 + (i mod 20)) and n = 16 * (1 + (i / 20 mod 10)) in
+  let k = 8 * (1 + (i mod 16)) in
+  {
+    Record.graph = Printf.sprintf "gemm_%dx%dx%d" m n k;
+    op = "gemm";
+    target = "V100";
+    spatial = [ m; n ];
+    reduce = [ k ];
+  }
+
+let record_of i =
+  {
+    Record.key = key_of_shape (i mod n_shapes);
+    method_name = "Q-method";
+    seed = i;
+    best_value = float_of_int ((i * 7919) mod 10_000);
+    sim_time_s = 1.0;
+    n_evals = 10;
+    config = "s=1,1,16,2;1,1,32,1 r=4,1,8 o=0 u=3 f=1 v=0 i=1 p=0";
+  }
+
+let time_ns_per f reps =
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    ignore (Sys.opaque_identity (f ()))
+  done;
+  (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int reps
+
+(* The O(n) fold [Store.best_exact] used before the index: highest
+   value, earliest wins ties — kept here as the baseline under test. *)
+let fold_best recs ~method_name key =
+  List.fold_left
+    (fun best r ->
+      if
+        Record.key_equal r.Record.key key
+        && String.equal r.Record.method_name method_name
+      then
+        match best with
+        | Some b when b.Record.best_value >= r.Record.best_value -> best
+        | _ -> Some r
+      else best)
+    None recs
+
+let bench_index () =
+  let n = n_records () in
+  let store = Store.create () in
+  for i = 1 to n do
+    Store.add store (record_of i)
+  done;
+  let recs = Store.records store in
+  let probe_keys = List.map key_of_shape [ 0; n_shapes / 2; n_shapes - 1 ] in
+  List.iter
+    (fun key ->
+      let indexed = Store.best_exact ~method_name:"Q-method" store key in
+      let folded = fold_best recs ~method_name:"Q-method" key in
+      assert (
+        match (indexed, folded) with
+        | Some a, Some b -> a.Record.seed = b.Record.seed
+        | None, None -> true
+        | _ -> false))
+    probe_keys;
+  let bench probes f =
+    let rates = List.map (fun key -> time_ns_per (fun () -> f key) probes) probe_keys in
+    List.fold_left ( +. ) 0. rates /. float_of_int (List.length rates)
+  in
+  let indexed_ns =
+    bench 20_000 (fun key -> Store.best_exact ~method_name:"Q-method" store key)
+  in
+  let fold_ns =
+    bench 50 (fun key -> fold_best recs ~method_name:"Q-method" key)
+  in
+  (n, indexed_ns, fold_ns)
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun name -> rm_rf (Filename.concat path name)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let temp_dir () =
+  let path = Filename.temp_file "ft_bench_store" "" in
+  Sys.remove path;
+  path
+
+(* [clients] concurrent connections issuing [total] requests between
+   them, started together behind a barrier; the clock covers the
+   request phase only (connections are pre-established). *)
+let service_rate ~clients ~total addr work =
+  let per_client = max 1 (total / clients) in
+  let go = Atomic.make false in
+  let failures = Atomic.make 0 in
+  let t0 = ref 0. in
+  let domains =
+    List.init clients (fun c ->
+        Domain.spawn (fun () ->
+            match Client.connect addr with
+            | Error _ ->
+                Atomic.incr failures;
+                0
+            | Ok client ->
+                Fun.protect
+                  ~finally:(fun () -> Client.close client)
+                  (fun () ->
+                    while not (Atomic.get go) do
+                      Domain.cpu_relax ()
+                    done;
+                    let done_ = ref 0 in
+                    for i = 1 to per_client do
+                      match work client ((c * 1_000_000) + i) with
+                      | Ok _ -> incr done_
+                      | Error _ -> Atomic.incr failures
+                    done;
+                    !done_)))
+  in
+  t0 := Unix.gettimeofday ();
+  Atomic.set go true;
+  let completed = List.fold_left (fun acc d -> acc + Domain.join d) 0 domains in
+  let dt = Unix.gettimeofday () -. !t0 in
+  if Atomic.get failures > 0 then
+    Printf.printf "  (%d request(s) failed)\n" (Atomic.get failures);
+  float_of_int completed /. dt
+
+let bench_service () =
+  let total = n_ops () in
+  List.map
+    (fun clients ->
+      let dir = temp_dir () in
+      Fun.protect
+        ~finally:(fun () -> rm_rf dir)
+        (fun () ->
+          let repo = Shard.open_dir dir in
+          let server = Server.create ~repo ~listen:"127.0.0.1:0" () in
+          let _thread = Server.start server in
+          Fun.protect
+            ~finally:(fun () -> Server.stop server)
+            (fun () ->
+              let addr = Server.address server in
+              let appends =
+                service_rate ~clients ~total addr (fun client i ->
+                    Client.append client (record_of i))
+              in
+              let lookups =
+                service_rate ~clients ~total addr (fun client i ->
+                    Client.best_exact ~method_name:"Q-method" client
+                      (key_of_shape (i mod n_shapes)))
+              in
+              (clients, appends, lookups))))
+    [ 1; 4; 16 ]
+
+let write_json ~records ~indexed_ns ~fold_ns ~levels path =
+  let num f = Json.Num f in
+  let json =
+    Json.Obj
+      [
+        ("records", num (float_of_int records));
+        ( "best_exact",
+          Json.Obj
+            [
+              ("indexed_ns", num indexed_ns);
+              ("fold_ns", num fold_ns);
+              ("indexed_speedup", num (fold_ns /. indexed_ns));
+            ] );
+        ( "service",
+          Json.Obj
+            [
+              ("requests_per_level", num (float_of_int (n_ops ())));
+              ( "concurrency",
+                Json.Obj
+                  (List.map
+                     (fun (clients, appends, lookups) ->
+                       ( Printf.sprintf "c%d" clients,
+                         Json.Obj
+                           [
+                             ("appends_per_sec", num appends);
+                             ("lookups_per_sec", num lookups);
+                           ] ))
+                     levels) );
+            ] );
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc
+
+let run () =
+  Bench_common.section "Store service (index vs fold, daemon throughput)";
+  Bench_common.subsection "indexed best_exact vs O(n) fold";
+  let records, indexed_ns, fold_ns = bench_index () in
+  Ft_util.Table.print ~header:[ "lookup path"; "ns/query"; "speedup" ]
+    [
+      [ Printf.sprintf "fold over %d records" records;
+        Printf.sprintf "%.0f" fold_ns; "1.00x" ];
+      [ "indexed"; Printf.sprintf "%.0f" indexed_ns;
+        Printf.sprintf "%.2fx" (fold_ns /. indexed_ns) ];
+    ];
+  Bench_common.subsection "daemon throughput (loopback TCP)";
+  let levels = bench_service () in
+  Ft_util.Table.print ~header:[ "clients"; "appends/sec"; "lookups/sec" ]
+    (List.map
+       (fun (clients, appends, lookups) ->
+         [ string_of_int clients;
+           Printf.sprintf "%.0f" appends;
+           Printf.sprintf "%.0f" lookups ])
+       levels);
+  write_json ~records ~indexed_ns ~fold_ns ~levels "BENCH_store.json";
+  print_endline "\n[wrote BENCH_store.json]"

@@ -28,6 +28,10 @@ module Method = Ft_explore.Method
 module Search_loop = Ft_explore.Search_loop
 module Fault = Ft_fault.Plan
 module Checkpoint = Ft_store.Checkpoint
+module Store_shard = Ft_store.Shard
+module Store_protocol = Ft_store.Protocol
+module Store_server = Ft_store.Server
+module Store_client = Ft_store.Client
 
 (* The AutoTVM registrations live in [Ft_baselines.Autotvm]; reference
    the module here so it is linked (and they run) for every consumer of
@@ -199,31 +203,51 @@ let record_of_result space method_name seed (result : Driver.result) =
     config = Config_io.to_string result.best_config;
   }
 
-(* The store is consulted before, and written after, the search — never
-   during it, and never through the evaluator or the search RNG.  An
-   exact hit reapplies the logged schedule through the cost model
-   directly (zero fresh measurements, identical value by determinism);
-   a near hit warm-starts the search by appending refitted schedules
-   after the regular seed points, leaving the RNG draw sequence — and
-   hence a cold search's trajectory — untouched. *)
-let optimize ?(options = default_options) ?store ?(reuse = false) graph target =
+(* The repository — local log and/or remote daemon — is consulted
+   before, and written after, the search: never during it, and never
+   through the evaluator or the search RNG.  An exact hit reapplies
+   the logged schedule through the cost model directly (zero fresh
+   measurements, identical value by determinism); a near hit
+   warm-starts the search by appending refitted schedules after the
+   regular seed points, leaving the RNG draw sequence — and hence a
+   cold search's trajectory — untouched.  A remote failure (dead
+   daemon, transport error) degrades into a miss: reuse may fall back
+   to a cold search, it never fails one. *)
+let optimize ?(options = default_options) ?store ?remote ?(reuse = false) graph
+    target =
   let graph = Op.validate_exn graph in
   let space = Space.make graph target in
   let m = Method.find_exn options.search in
   let method_name = m.Method.name in
   let key = Store_record.key_of_space space in
+  (* The remote repository wins ties: it is the shared, most complete
+     view.  The local log remains the fallback when no daemon is
+     configured (and the cold path when neither is). *)
+  let remote_exact () =
+    match remote with
+    | None -> None
+    | Some client -> (
+        match Store_client.best_exact ~method_name client key with
+        | Ok hit -> hit
+        | Error _ -> None)
+  in
+  let local_exact () =
+    match store with
+    | None -> None
+    | Some s -> Store.best_exact ~method_name s key
+  in
   let exact_hit =
     if not reuse then None
     else
-      match store with
+      let record =
+        match remote_exact () with Some r -> Some r | None -> local_exact ()
+      in
+      match record with
       | None -> None
-      | Some s -> (
-          match Store.best_exact ~method_name s key with
-          | None -> None
-          | Some record -> (
-              match Config_io.of_string_for space record.Store_record.config with
-              | Ok cfg -> Some cfg
-              | Error _ -> None))
+      | Some record -> (
+          match Config_io.of_string_for space record.Store_record.config with
+          | Ok cfg -> Some cfg
+          | Error _ -> None)
   in
   match exact_hit with
   | Some cfg ->
@@ -233,14 +257,30 @@ let optimize ?(options = default_options) ?store ?(reuse = false) graph target =
         ~history:[]
   | None ->
       let transfer =
-        match store with
-        | Some s when reuse -> Transfer.seeds ~method_name s space
-        | _ -> []
+        if not reuse then []
+        else
+          match remote with
+          | Some client -> (
+              (* the cache-miss path: nearest-shape records refitted by
+                 Transfer, fetched from the shared repository *)
+              match Store_client.nearest ~method_name client key with
+              | Ok near -> Transfer.seeds_of_records ~exact:None ~near space
+              | Error _ -> (
+                  match store with
+                  | Some s -> Transfer.seeds ~method_name s space
+                  | None -> []))
+          | None -> (
+              match store with
+              | Some s -> Transfer.seeds ~method_name s space
+              | None -> [])
       in
       let result = run_search m options ~transfer space in
-      (match store with
-      | Some s ->
-          Store.add s (record_of_result space method_name options.seed result)
+      let record = record_of_result space method_name options.seed result in
+      (match store with Some s -> Store.add s record | None -> ());
+      (match remote with
+      | Some client -> (
+          match Store_client.append client record with
+          | Ok () | Error _ -> ())
       | None -> ());
       let provenance =
         match transfer with

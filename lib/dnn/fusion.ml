@@ -11,7 +11,20 @@ open Ft_ir
 let with_bias_relu graph =
   let conv = Op.output_op graph in
   let shape = Op.out_shape conv in
-  let channels = List.nth shape 1 in
+  (* The bias broadcasts over channels = dimension 1 of an NCHW-style
+     output; a rank-0/1 output has no channel axis to broadcast over.
+     Without this check [List.nth] raises a bare [Failure "nth"] that
+     names neither the layer nor the problem. *)
+  let channels =
+    match shape with
+    | _ :: channels :: _ -> channels
+    | _ ->
+        invalid_arg
+          (Printf.sprintf
+             "Fusion.with_bias_relu: layer %s output %s has rank %d, but \
+              bias+ReLU fusion needs a channel dimension (rank >= 2)"
+             graph.Op.graph_name conv.Op.output (List.length shape))
+  in
   let biased = Operators.bias_add ~input:graph.Op.output ~bias:"bias" ~output:"O.bias" ~shape in
   let activated = Operators.relu ~input:"O.bias" ~output:"O.relu" ~shape in
   Op.validate_exn

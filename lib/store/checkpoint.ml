@@ -55,34 +55,18 @@ let of_json line =
   in
   Ok { run_id; trial; n_evals; clock_s; best_value; config; rng_state }
 
-(* Same append discipline as [Store.append_line]: one buffered write
-   flushed on close, so a crash mid-checkpoint can at worst tear the
-   final line — which [load] then skips. *)
-let append path c =
-  let oc = open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      output_string oc (to_json c);
-      output_char oc '\n')
+(* Same append discipline as the tuning log ([Store_io.append_line]):
+   one complete line per write on an O_APPEND descriptor, so a crash
+   mid-checkpoint can at worst tear the final line — which [load] then
+   skips. *)
+let append path c = Store_io.append_line path (to_json c)
 
 type issue = { line : int; reason : string }
 
 let load path =
   if not (Sys.file_exists path) then ([], [])
   else begin
-    let ic = open_in path in
-    let lines =
-      Fun.protect
-        ~finally:(fun () -> close_in ic)
-        (fun () ->
-          let rec go acc =
-            match input_line ic with
-            | line -> go (line :: acc)
-            | exception End_of_file -> List.rev acc
-          in
-          go [])
-    in
+    let lines = Store_io.load_lines path in
     let cks = ref [] and probs = ref [] in
     List.iteri
       (fun i line ->

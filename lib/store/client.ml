@@ -1,0 +1,99 @@
+(* Synchronous request/response client over one socket.  All failures
+   come back as [Error] strings: reuse paths treat a broken daemon as
+   a cache miss, never as a fatal error. *)
+
+type t = {
+  addr : string;
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  (* one in-flight request per connection; callers may share a client
+     across threads *)
+  mutex : Mutex.t;
+}
+
+(* A peer hanging up between our write and their read raises SIGPIPE,
+   whose default disposition kills the process — the one transport
+   failure [Error] cannot catch.  Ignoring it turns the hangup into
+   EPIPE, which [roundtrip] reports like any other lost connection.
+   (Windows has no SIGPIPE; [set_signal] raises there, hence the
+   catch.) *)
+let ignore_sigpipe =
+  lazy (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ())
+
+let connect addr_text =
+  Lazy.force ignore_sigpipe;
+  match Protocol.parse_addr addr_text with
+  | Error msg -> Error (Printf.sprintf "bad address %S: %s" addr_text msg)
+  | Ok addr -> (
+      let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+      match Unix.connect fd addr with
+      | () ->
+          Ok
+            {
+              addr = addr_text;
+              fd;
+              ic = Unix.in_channel_of_descr fd;
+              oc = Unix.out_channel_of_descr fd;
+              mutex = Mutex.create ();
+            }
+      | exception Unix.Unix_error (err, _, _) ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Error
+            (Printf.sprintf "connect %s: %s" addr_text (Unix.error_message err)))
+
+let address t = t.addr
+
+let close t =
+  try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let roundtrip t request =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      match
+        Protocol.write_frame t.oc (Protocol.request_to_string request);
+        Protocol.read_frame t.ic
+      with
+      | Error _ as e -> e
+      | Ok payload -> Protocol.response_of_string payload
+      | exception (Sys_error _ | Unix.Unix_error _) ->
+          Error (Printf.sprintf "connection to %s lost" t.addr))
+
+let unexpected what = Error ("unexpected response to " ^ what)
+
+let ping t =
+  match roundtrip t Protocol.Ping with
+  | Ok Protocol.Pong -> Ok ()
+  | Ok (Protocol.Error msg) -> Error msg
+  | Ok _ -> unexpected "ping"
+  | Error _ as e -> e
+
+let best_exact ?method_name t key =
+  match roundtrip t (Protocol.Best { key; method_name }) with
+  | Ok (Protocol.Hit hit) -> Ok hit
+  | Ok (Protocol.Error msg) -> Error msg
+  | Ok _ -> unexpected "best"
+  | Error _ as e -> e
+
+let nearest ?method_name ?(limit = 3) t key =
+  match roundtrip t (Protocol.Nearest { key; method_name; limit }) with
+  | Ok (Protocol.Neighbors records) -> Ok records
+  | Ok (Protocol.Error msg) -> Error msg
+  | Ok _ -> unexpected "nearest"
+  | Error _ as e -> e
+
+let append t record =
+  match roundtrip t (Protocol.Append record) with
+  | Ok Protocol.Appended -> Ok ()
+  | Ok (Protocol.Error msg) -> Error msg
+  | Ok _ -> unexpected "append"
+  | Error _ as e -> e
+
+let stats t =
+  match roundtrip t Protocol.Stats with
+  | Ok (Protocol.Stats_reply { count; shards }) -> Ok (count, shards)
+  | Ok (Protocol.Error msg) -> Error msg
+  | Ok _ -> unexpected "stats"
+  | Error _ as e -> e

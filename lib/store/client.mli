@@ -1,0 +1,38 @@
+(** Client side of the tuning service: a persistent connection issuing
+    {!Protocol} requests (`optimize --reuse=HOST:PORT`).
+
+    Every call is synchronous — one request frame out, one response
+    frame back — and returns [Error] rather than raising on transport
+    or protocol failures, so a dead daemon degrades a warm start into
+    a cold search instead of failing it. *)
+
+type t
+
+(** Connect to a daemon ({!Protocol.parse_addr} address forms). *)
+val connect : string -> (t, string) result
+
+(** The daemon's address as given to {!connect}. *)
+val address : t -> string
+
+val close : t -> unit
+
+val ping : t -> (unit, string) result
+
+(** Remote {!Store.best_exact}: same key/method/tie semantics, served
+    from the daemon's index. *)
+val best_exact :
+  ?method_name:string -> t -> Record.key -> (Record.t option, string) result
+
+(** Remote {!Store.nearest}. *)
+val nearest :
+  ?method_name:string ->
+  ?limit:int ->
+  t ->
+  Record.key ->
+  (Record.t list, string) result
+
+(** Append a finished search to the shared repository. *)
+val append : t -> Record.t -> (unit, string) result
+
+(** [(records indexed, shard files)] on the daemon. *)
+val stats : t -> (int * int, string) result

@@ -1,0 +1,158 @@
+(* Query index over tuning-log records: per-key best-k lists and
+   per-operator shape tables.  Semantics mirror the flat store's
+   chronological folds exactly (value ordering, earliest-wins ties) —
+   [seq] stamps insertion order so cross-method ties in [nearest]
+   resolve the way a file-order scan would. *)
+
+type cell = { seq : int; record : Record.t }
+
+type t = {
+  k : int;
+  mutable count : int;
+  mutable next_seq : int;
+  (* exact key id -> cells sorted by (value desc, seq asc), truncated
+     to k per method *)
+  by_key : (string, cell list) Hashtbl.t;
+  (* op id -> (method | graph | shape id) -> best cell for that
+     (method, graph, shape) triple *)
+  by_op : (string, (string, cell) Hashtbl.t) Hashtbl.t;
+}
+
+let create ?(k = 4) () =
+  if k < 1 then invalid_arg "Index.create: k must be >= 1";
+  {
+    k;
+    count = 0;
+    next_seq = 0;
+    by_key = Hashtbl.create 64;
+    by_op = Hashtbl.create 16;
+  }
+
+let k t = t.k
+let count t = t.count
+
+let ints l = String.concat "," (List.map string_of_int l)
+
+let op_id (key : Record.key) =
+  Printf.sprintf "%s|%s|%d|%d" key.op key.target (List.length key.spatial)
+    (List.length key.reduce)
+
+let key_id (key : Record.key) =
+  Printf.sprintf "%s|%s|%s|%s|%s" key.graph key.op key.target
+    (ints key.spatial) (ints key.reduce)
+
+let shape_id (key : Record.key) = ints key.spatial ^ "|" ^ ints key.reduce
+
+let method_ok method_name (r : Record.t) =
+  match method_name with
+  | None -> true
+  | Some m -> String.equal m r.method_name
+
+(* Insert keeping (value desc, seq asc): a new cell goes after every
+   cell with value >= its own — cells arrive in seq order, so equal
+   values stay earliest-first. *)
+let rec insert_sorted (c : cell) = function
+  | [] -> [ c ]
+  | head :: rest when head.record.Record.best_value >= c.record.Record.best_value
+    ->
+      head :: insert_sorted c rest
+  | rest -> c :: rest
+
+(* Drop the worst (last, i.e. lowest-value newest) cell of [m] when
+   the method holds more than k. *)
+let enforce_method_cap k m cells =
+  let n =
+    List.length
+      (List.filter (fun c -> String.equal c.record.Record.method_name m) cells)
+  in
+  if n <= k then cells
+  else
+    let rev = List.rev cells in
+    let rec drop_first_of_m = function
+      | [] -> []
+      | c :: rest when String.equal c.record.Record.method_name m -> rest
+      | c :: rest -> c :: drop_first_of_m rest
+    in
+    List.rev (drop_first_of_m rev)
+
+let add t (record : Record.t) =
+  let c = { seq = t.next_seq; record } in
+  t.next_seq <- t.next_seq + 1;
+  t.count <- t.count + 1;
+  let kid = key_id record.key in
+  let cells =
+    match Hashtbl.find_opt t.by_key kid with None -> [] | Some l -> l
+  in
+  Hashtbl.replace t.by_key kid
+    (enforce_method_cap t.k record.method_name (insert_sorted c cells));
+  let oid = op_id record.key in
+  let shapes =
+    match Hashtbl.find_opt t.by_op oid with
+    | Some tbl -> tbl
+    | None ->
+        let tbl = Hashtbl.create 16 in
+        Hashtbl.add t.by_op oid tbl;
+        tbl
+  in
+  let sub =
+    record.method_name ^ "|" ^ record.key.graph ^ "|" ^ shape_id record.key
+  in
+  (match Hashtbl.find_opt shapes sub with
+  | Some best when best.record.Record.best_value >= record.best_value -> ()
+  | Some _ | None -> Hashtbl.replace shapes sub c)
+
+let best_exact ?method_name t key =
+  match Hashtbl.find_opt t.by_key (key_id key) with
+  | None -> None
+  | Some cells -> (
+      match List.find_opt (fun c -> method_ok method_name c.record) cells with
+      | Some c -> Some c.record
+      | None -> None)
+
+let nearest ?method_name ?(limit = 3) t key =
+  match Hashtbl.find_opt t.by_op (op_id key) with
+  | None -> []
+  | Some shapes ->
+      (* Best cell per distinct shape among the qualifying (method,
+         graph, shape) bests — a chronological scan would keep the
+         earliest of equal values, which (value, seq) reproduces. *)
+      let by_shape : (string, cell) Hashtbl.t = Hashtbl.create 16 in
+      Hashtbl.iter
+        (fun _ (c : cell) ->
+          if
+            method_ok method_name c.record
+            && not (Record.key_equal c.record.Record.key key)
+          then begin
+            let id = shape_id c.record.Record.key in
+            match Hashtbl.find_opt by_shape id with
+            | Some best
+              when best.record.Record.best_value > c.record.Record.best_value
+                   || (best.record.Record.best_value
+                       = c.record.Record.best_value
+                      && best.seq < c.seq) ->
+                ()
+            | Some _ | None -> Hashtbl.replace by_shape id c
+          end)
+        shapes;
+      let candidates =
+        Hashtbl.fold (fun _ c acc -> c.record :: acc) by_shape []
+      in
+      let ranked =
+        List.sort
+          (fun (a : Record.t) (b : Record.t) ->
+            let da = Record.shape_distance a.key key
+            and db = Record.shape_distance b.key key in
+            match compare da db with
+            | 0 -> (
+                match compare b.best_value a.best_value with
+                | 0 -> compare (shape_id a.key) (shape_id b.key)
+                | c -> c)
+            | c -> c)
+          candidates
+      in
+      List.filteri (fun i _ -> i < limit) ranked
+
+let survivors t =
+  let cells = Hashtbl.fold (fun _ cs acc -> cs @ acc) t.by_key [] in
+  List.map (fun c -> c.record)
+    (List.sort (fun a b -> compare a.seq b.seq) cells)

@@ -52,22 +52,38 @@ let shape_distance a b =
          (List.fold_left2 sq 0. a.spatial b.spatial)
          a.reduce b.reduce)
 
-let to_json r =
-  Json.to_string
-    (Json.Obj
-       [
-         ("graph", Json.Str r.key.graph);
-         ("op", Json.Str r.key.op);
-         ("target", Json.Str r.key.target);
-         ("spatial", Json.Arr (List.map (fun i -> Json.Num (float_of_int i)) r.key.spatial));
-         ("reduce", Json.Arr (List.map (fun i -> Json.Num (float_of_int i)) r.key.reduce));
-         ("method", Json.Str r.method_name);
-         ("seed", Json.Num (float_of_int r.seed));
-         ("best", Json.Num r.best_value);
-         ("sim_time_s", Json.Num r.sim_time_s);
-         ("n_evals", Json.Num (float_of_int r.n_evals));
-         ("config", Json.Str r.config);
-       ])
+let ints l = Json.Arr (List.map (fun i -> Json.Num (float_of_int i)) l)
+
+(* Key fields are inlined in the record object (the log line format
+   predates the wire protocol), so the key's own JSON rendering reuses
+   the same field names. *)
+let key_to_value k =
+  Json.Obj
+    [
+      ("graph", Json.Str k.graph);
+      ("op", Json.Str k.op);
+      ("target", Json.Str k.target);
+      ("spatial", ints k.spatial);
+      ("reduce", ints k.reduce);
+    ]
+
+let to_value r =
+  Json.Obj
+    [
+      ("graph", Json.Str r.key.graph);
+      ("op", Json.Str r.key.op);
+      ("target", Json.Str r.key.target);
+      ("spatial", ints r.key.spatial);
+      ("reduce", ints r.key.reduce);
+      ("method", Json.Str r.method_name);
+      ("seed", Json.Num (float_of_int r.seed));
+      ("best", Json.Num r.best_value);
+      ("sim_time_s", Json.Num r.sim_time_s);
+      ("n_evals", Json.Num (float_of_int r.n_evals));
+      ("config", Json.Str r.config);
+    ]
+
+let to_json r = Json.to_string (to_value r)
 
 let field value name convert =
   match Json.member name value with
@@ -79,13 +95,16 @@ let field value name convert =
 
 let ( let* ) = Result.bind
 
-let of_json line =
-  let* value = Json.of_string line in
+let key_of_value value =
   let* graph = field value "graph" Json.to_str in
   let* op = field value "op" Json.to_str in
   let* target = field value "target" Json.to_str in
   let* spatial = field value "spatial" Json.to_int_list in
   let* reduce = field value "reduce" Json.to_int_list in
+  Ok { graph; op; target; spatial; reduce }
+
+let of_value value =
+  let* { graph; op; target; spatial; reduce } = key_of_value value in
   let* method_name = field value "method" Json.to_str in
   let* seed = field value "seed" Json.to_int in
   let* best_value = field value "best" Json.to_num in
@@ -102,3 +121,7 @@ let of_json line =
       n_evals;
       config;
     }
+
+let of_json line =
+  let* value = Json.of_string line in
+  of_value value

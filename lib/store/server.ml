@@ -1,0 +1,118 @@
+(* Accept loop + per-connection handler threads over the sharded
+   repository.  The repository's own locking makes handlers safe to
+   run concurrently; this module only owns sockets. *)
+
+type t = {
+  repo : Shard.t;
+  fd : Unix.file_descr;
+  addr : Unix.sockaddr;
+  mutable stopping : bool;
+  stop_mutex : Mutex.t;
+}
+
+(* A client hanging up while a handler writes its response raises
+   SIGPIPE, whose default disposition kills the daemon.  Ignored, the
+   write fails with EPIPE and only that connection ends.  (No SIGPIPE
+   on Windows, hence the catch.) *)
+let ignore_sigpipe =
+  lazy (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ())
+
+let create ?(backlog = 64) ~repo ~listen () =
+  Lazy.force ignore_sigpipe;
+  let addr =
+    match Protocol.parse_addr listen with
+    | Ok addr -> addr
+    | Error msg -> failwith (Printf.sprintf "serve: bad address %S: %s" listen msg)
+  in
+  let domain = Unix.domain_of_sockaddr addr in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (try
+     (match addr with
+     | Unix.ADDR_INET _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true
+     | Unix.ADDR_UNIX path ->
+         (* a stale socket file from a dead daemon blocks bind *)
+         if Sys.file_exists path then Sys.remove path);
+     Unix.bind fd addr;
+     Unix.listen fd backlog
+   with e ->
+     Unix.close fd;
+     raise e);
+  {
+    repo;
+    fd;
+    addr = Unix.getsockname fd;
+    stopping = false;
+    stop_mutex = Mutex.create ();
+  }
+
+let repo t = t.repo
+let address t = Protocol.string_of_sockaddr t.addr
+
+let handle repo (req : Protocol.request) : Protocol.response =
+  match req with
+  | Protocol.Ping -> Protocol.Pong
+  | Protocol.Best { key; method_name } ->
+      Protocol.Hit (Shard.best_exact ?method_name repo key)
+  | Protocol.Nearest { key; method_name; limit } ->
+      Protocol.Neighbors (Shard.nearest ?method_name ~limit repo key)
+  | Protocol.Append record ->
+      Shard.add repo record;
+      Protocol.Appended
+  | Protocol.Stats ->
+      Protocol.Stats_reply
+        { count = Shard.count repo; shards = List.length (Shard.shards repo) }
+
+(* One request frame -> one response frame, in order, until the client
+   disconnects.  A malformed request earns an Error response (the
+   connection survives); a framing error or EOF ends the connection. *)
+let connection repo fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let rec loop () =
+        match Protocol.read_frame ic with
+        | Error _ -> ()
+        | Ok payload ->
+            let response =
+              match Protocol.request_of_string payload with
+              | Error msg -> Protocol.Error ("bad request: " ^ msg)
+              | Ok req -> (
+                  try handle repo req
+                  with e ->
+                    Protocol.Error
+                      ("internal error: " ^ Printexc.to_string e))
+            in
+            Protocol.write_frame oc (Protocol.response_to_string response);
+            loop ()
+      in
+      try loop () with Sys_error _ | Unix.Unix_error _ -> ())
+
+let serve t =
+  let rec loop () =
+    match Unix.accept t.fd with
+    | client, _ ->
+        ignore (Thread.create (fun () -> connection t.repo client) ());
+        loop ()
+    | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL | Unix.ECONNABORTED), _, _)
+      when t.stopping ->
+        ()
+    | exception Unix.Unix_error (Unix.ECONNABORTED, _, _) -> loop ()
+  in
+  loop ()
+
+let start t = Thread.create (fun () -> serve t) ()
+
+let stop t =
+  Mutex.lock t.stop_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.stop_mutex)
+    (fun () ->
+      if not t.stopping then begin
+        t.stopping <- true;
+        (try Unix.close t.fd with Unix.Unix_error _ -> ());
+        match t.addr with
+        | Unix.ADDR_UNIX path when Sys.file_exists path -> Sys.remove path
+        | _ -> ()
+      end)

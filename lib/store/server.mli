@@ -1,0 +1,42 @@
+(** The tuning-service daemon: serves a {!Shard} repository over the
+    {!Protocol} wire format (`flextensor serve`).
+
+    One thread accepts connections; each connection gets its own
+    handler thread that processes requests in order.  All handlers
+    share the repository — {!Shard.t} serializes index access behind
+    its mutex and appends behind per-shard file locks, so thousands of
+    clients interleave at record granularity.
+
+    Consistency contract: reads see every record appended through
+    this server before the read was received; records written to the
+    store directory by other processes are invisible until the daemon
+    restarts (the daemon owns the directory while it runs). *)
+
+type t
+
+(** [create ~repo ~listen ()] binds and listens.  [listen] follows
+    {!Protocol.parse_addr}: ["unix:PATH"], ["HOST:PORT"], [":PORT"] or
+    ["PORT"]; TCP port [0] picks an ephemeral port (see {!address}).
+    Raises [Failure] on a bad address or bind error. *)
+val create : ?backlog:int -> repo:Shard.t -> listen:string -> unit -> t
+
+val repo : t -> Shard.t
+
+(** The bound address in [parse_addr] form — with the real port when
+    an ephemeral one was requested. *)
+val address : t -> string
+
+(** Per-request dispatcher (exposed for tests): the pure mapping from
+    request to response against a repository. *)
+val handle : Shard.t -> Protocol.request -> Protocol.response
+
+(** Blocking accept loop; returns after {!stop}. *)
+val serve : t -> unit
+
+(** [serve] on a background thread. *)
+val start : t -> Thread.t
+
+(** Stop accepting and close the listen socket (idempotent).  Open
+    connections finish their in-flight request and close as clients
+    disconnect. *)
+val stop : t -> unit

@@ -2,39 +2,22 @@ type issue = { line : int; reason : string }
 
 type t = {
   store_path : string option;
-  mutable recs : Record.t list;  (* reverse chronological *)
+  mutable recs : Record.t list;  (* reverse chronological; enumeration only *)
+  index : Index.t;  (* serves length / best_exact / nearest *)
   mutable probs : issue list;  (* reverse file order *)
 }
 
-(* One buffered write flushed on close per record: combined with
-   O_APPEND this keeps concurrent appenders from interleaving within a
-   line, so the only possible corruption is a torn final line — which
-   tolerant loading then skips. *)
-let append_line path line =
-  let oc = open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      output_string oc line;
-      output_char oc '\n')
-
-let load_lines path =
-  if not (Sys.file_exists path) then []
-  else begin
-    let ic = open_in path in
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () ->
-        let rec go acc =
-          match input_line ic with
-          | line -> go (line :: acc)
-          | exception End_of_file -> List.rev acc
-        in
-        go [])
-  end
+(* The append contract lives in [Store_io.append_line]: the whole line
+   (with its newline) reaches the kernel as one write on an O_APPEND
+   descriptor, so concurrent appenders interleave only at line
+   granularity — even for records longer than a stdlib channel
+   buffer.  Shared with checkpoints and shards. *)
+let append_line = Store_io.append_line
 
 let create ?path () =
-  let store = { store_path = path; recs = []; probs = [] } in
+  let store =
+    { store_path = path; recs = []; index = Index.create (); probs = [] }
+  in
   (match path with
   | None -> ()
   | Some path ->
@@ -42,9 +25,11 @@ let create ?path () =
         (fun i line ->
           if String.trim line <> "" then
             match Record.of_json line with
-            | Ok r -> store.recs <- r :: store.recs
+            | Ok r ->
+                store.recs <- r :: store.recs;
+                Index.add store.index r
             | Error reason -> store.probs <- { line = i + 1; reason } :: store.probs)
-        (load_lines path));
+        (Store_io.load_lines path));
   store
 
 let load path = create ~path ()
@@ -52,63 +37,17 @@ let load path = create ~path ()
 let path t = t.store_path
 let records t = List.rev t.recs
 let issues t = List.rev t.probs
-let length t = List.length t.recs
+
+(* O(1): the index counts insertions — no list walk per lookup. *)
+let length t = Index.count t.index
 
 let add t record =
   t.recs <- record :: t.recs;
+  Index.add t.index record;
   Option.iter (fun path -> append_line path (Record.to_json record)) t.store_path
 
-let method_ok method_name (r : Record.t) =
-  match method_name with
-  | None -> true
-  | Some m -> String.equal m r.method_name
-
-(* Chronological fold with a strict > keeps the earliest of equal-value
-   records, so reloading a log never changes which entry wins. *)
-let best_exact ?method_name t key =
-  List.fold_left
-    (fun acc (r : Record.t) ->
-      if not (Record.key_equal r.key key && method_ok method_name r) then acc
-      else
-        match acc with
-        | Some (best : Record.t) when best.best_value >= r.best_value -> acc
-        | Some _ | None -> Some r)
-    None (records t)
-
-let nearest ?method_name ?(limit = 3) t key =
-  (* Best record per distinct neighboring shape. *)
-  let by_shape : (string, Record.t) Hashtbl.t = Hashtbl.create 16 in
-  let shape_id (k : Record.key) =
-    String.concat ","
-      (List.map string_of_int k.spatial @ ("|" :: List.map string_of_int k.reduce))
-  in
-  List.iter
-    (fun (r : Record.t) ->
-      if
-        Record.same_operator r.key key
-        && (not (Record.key_equal r.key key))
-        && method_ok method_name r
-      then begin
-        let id = shape_id r.key in
-        match Hashtbl.find_opt by_shape id with
-        | Some best when best.best_value >= r.best_value -> ()
-        | Some _ | None -> Hashtbl.replace by_shape id r
-      end)
-    (records t);
-  let candidates = Hashtbl.fold (fun _ r acc -> r :: acc) by_shape [] in
-  let ranked =
-    List.sort
-      (fun (a : Record.t) (b : Record.t) ->
-        let da = Record.shape_distance a.key key
-        and db = Record.shape_distance b.key key in
-        match compare da db with
-        | 0 -> (
-            (* Equidistant shapes: higher value first, then a stable
-               textual key so the ranking is deterministic. *)
-            match compare b.best_value a.best_value with
-            | 0 -> compare (shape_id a.key) (shape_id b.key)
-            | c -> c)
-        | c -> c)
-      candidates
-  in
-  List.filteri (fun i _ -> i < limit) ranked
+(* Both queries are served from the index (hash lookup + a walk of the
+   key's best-k cells / the operator's shape table) with the original
+   fold semantics: highest value wins, earliest of equal values wins. *)
+let best_exact ?method_name t key = Index.best_exact ?method_name t.index key
+let nearest ?method_name ?limit t key = Index.nearest ?method_name ?limit t.index key

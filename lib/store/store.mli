@@ -2,11 +2,15 @@
     (one {!Record.t} per line), in the spirit of AutoTVM's tophub logs.
 
     Invariants:
-    - appends are atomic at line granularity ([O_APPEND], one buffered
-      write flushed per record), so a crashed or concurrent writer can
-      at worst leave one torn final line;
+    - appends are atomic at line granularity ([O_APPEND], the whole
+      line in one [write(2)] — {!Store_io.append_line}), so a crashed
+      or concurrent writer can at worst leave one torn final line,
+      even for records longer than a channel buffer;
     - loading is tolerant: malformed lines are skipped and reported
       via {!issues}, never raised;
+    - {!length}, {!best_exact} and {!nearest} are served from an
+      in-memory {!Index} (O(1) count, hash-keyed lookups) — no
+      per-query list rebuild or full-log fold;
     - the store NEVER feeds back into search randomness — reads and
       writes consume no search RNG, so logging leaves results
       bit-for-bit unchanged (DESIGN.md §9). *)
@@ -32,6 +36,7 @@ val records : t -> Record.t list
 (** Malformed lines skipped while loading, in file order. *)
 val issues : t -> issue list
 
+(** Number of records (an O(1) counter, not a list length). *)
 val length : t -> int
 
 (** Append one record to memory and (when backed) to the log file. *)

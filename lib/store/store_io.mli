@@ -1,0 +1,35 @@
+(** Shared durability primitives for every JSONL trail in [ft_store]
+    (tuning logs, checkpoint trails, shard files).
+
+    The append contract: the full record line — content plus the
+    trailing ['\n'] — is built as one string and handed to the kernel
+    in a single [write] on an [O_APPEND] descriptor.  The stdlib
+    channel path the store used before buffered the line and flushed
+    on close, which silently splits a record longer than the channel
+    buffer (64 KiB) into several writes — letting concurrent appenders
+    interleave *inside* a line.  One [write(2)] on an [O_APPEND] fd
+    has no such seam: the kernel serializes the whole call at the end
+    of the file. *)
+
+(** [append_line path line] appends [line ^ "\n"] to [path] (created
+    [0o644] if missing) as a single write.  [line] must not itself
+    contain ['\n'] — JSONL producers never emit one. *)
+val append_line : string -> string -> unit
+
+(** Lines of [path] in file order; a missing file is []. *)
+val load_lines : string -> string list
+
+(** [with_file_lock path f] runs [f] while holding both the
+    process-local mutex for [path] and an exclusive [Unix.lockf] lock
+    on [path ^ ".lock"] — excluding other domains of this process
+    *and* other processes.  fcntl locks do not exclude within one
+    process, hence the paired mutex.  Shard appenders open the shard
+    file under this lock so a compaction rename can never strand their
+    write in the replaced inode; flat single-file logs (tuning log,
+    checkpoints) are never renamed and append lock-free. *)
+val with_file_lock : string -> (unit -> 'a) -> 'a
+
+(** [replace_file ~src ~dst] atomically renames [src] over [dst]
+    (same directory).  Readers see either the old or the new complete
+    file, never a partial one. *)
+val replace_file : src:string -> dst:string -> unit

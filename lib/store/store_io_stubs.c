@@ -1,0 +1,56 @@
+/* A whole-buffer write(2) for Store_io.append_line.
+
+   The stdlib's Unix.write cannot provide the line-atomicity contract:
+   it stages the buffer through a fixed 64 KiB internal buffer
+   (UNIX_BUFFER_SIZE) and loops over multiple write(2) syscalls for
+   anything larger, so a long record line tears into several kernel
+   writes and concurrent O_APPEND appenders can interleave inside it.
+   This stub hands the full buffer to one write(2); the kernel
+   serializes the whole call at the end of an O_APPEND file.
+
+   The buffer is copied out of the OCaml heap before the runtime lock
+   is released -- with the lock released the GC may move the bytes. */
+
+#include <caml/alloc.h>
+#include <caml/fail.h>
+#include <caml/memory.h>
+#include <caml/mlvalues.h>
+#include <caml/threads.h>
+
+#include <errno.h>
+#include <stdlib.h>
+#include <string.h>
+#include <unistd.h>
+
+CAMLprim value ft_store_write_once(value vfd, value vbuf)
+{
+  CAMLparam2(vfd, vbuf);
+  size_t len = caml_string_length(vbuf);
+  int fd = Int_val(vfd);
+  char *copy = (char *) malloc(len ? len : 1);
+  if (copy == NULL)
+    caml_failwith("Store_io.append_line: out of memory");
+  memcpy(copy, Bytes_val(vbuf), len);
+
+  size_t off = 0;
+  int err = 0;
+  caml_release_runtime_system();
+  /* One write(2) is the whole point; the loop only runs again on the
+     rare partial write (ENOSPC boundary, quota), where retrying the
+     remainder is the best that can be done. */
+  while (off < len) {
+    ssize_t n = write(fd, copy + off, len - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      err = errno;
+      break;
+    }
+    off += (size_t) n;
+  }
+  caml_acquire_runtime_system();
+  free(copy);
+
+  if (err != 0)
+    caml_failwith(strerror(err));
+  CAMLreturn(Val_long(off));
+}

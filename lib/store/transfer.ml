@@ -64,21 +64,19 @@ let refit space (cfg : Config.t) =
       if Space.valid space refitted then Some refitted else None
   | _ -> None
 
-let seeds ?method_name ?(limit = 3) store space =
-  let key = Record.key_of_space space in
+(* The refit pipeline, independent of where the records came from —
+   the local log and the remote daemon (the cache-miss path of
+   [optimize --reuse=HOST:PORT]) share it. *)
+let seeds_of_records ~exact ~near space =
   let of_record (r : Record.t) =
     match Config_io.of_string r.config with
     | Error _ -> None
     | Ok cfg -> refit space cfg
   in
   let exact =
-    match Store.best_exact ?method_name store key with
-    | Some r -> Option.to_list (of_record r)
-    | None -> []
+    match exact with Some r -> Option.to_list (of_record r) | None -> []
   in
-  let near =
-    List.filter_map of_record (Store.nearest ?method_name ~limit store key)
-  in
+  let near = List.filter_map of_record near in
   (* Dedup by structural key, preserving exact-first order. *)
   let seen = Hashtbl.create 8 in
   List.filter
@@ -90,3 +88,10 @@ let seeds ?method_name ?(limit = 3) store space =
         true
       end)
     (exact @ near)
+
+let seeds ?method_name ?(limit = 3) store space =
+  let key = Record.key_of_space space in
+  seeds_of_records
+    ~exact:(Store.best_exact ?method_name store key)
+    ~near:(Store.nearest ?method_name ~limit store key)
+    space

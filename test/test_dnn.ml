@@ -36,6 +36,24 @@ let test_epilogue_detection () =
   check_int "bare conv has none" 0
     (List.length (Ft_dnn.Fusion.epilogue_ops tiny_conv))
 
+(* Regression: a rank-0/1 output has no channel axis to broadcast the
+   bias over.  This used to surface as a bare [Failure "nth"] from
+   [List.nth]; it must be a descriptive [Invalid_argument] naming the
+   layer. *)
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec at i = i + n <= m && (String.sub s i n = sub || at (i + 1)) in
+  at 0
+
+let test_fusion_rejects_low_rank () =
+  let gemv = Ft_ir.Operators.gemv ~m:8 ~k:8 in
+  match Ft_dnn.Fusion.with_bias_relu gemv with
+  | _ -> Alcotest.fail "rank-1 output must not fuse"
+  | exception Invalid_argument msg ->
+      check_bool "names the layer" true
+        (contains ~sub:gemv.Ft_ir.Op.graph_name msg);
+      check_bool "names the rank" true (contains ~sub:"rank 1" msg)
+
 let test_unfused_epilogue_cost_positive () =
   let fused = Ft_dnn.Fusion.with_bias_relu tiny_conv in
   let cost = Ft_dnn.Fusion.unfused_epilogue_time Ft_schedule.Target.v100 fused in
@@ -125,6 +143,7 @@ let () =
           Alcotest.test_case "structure" `Quick test_fused_graph_structure;
           Alcotest.test_case "semantics" `Quick test_fused_graph_semantics;
           Alcotest.test_case "epilogue detection" `Quick test_epilogue_detection;
+          Alcotest.test_case "rejects low rank" `Quick test_fusion_rejects_low_rank;
           Alcotest.test_case "epilogue cost" `Quick test_unfused_epilogue_cost_positive;
           Alcotest.test_case "fused schedule correctness" `Quick
             test_fused_graph_schedules_correctly;
