@@ -1,0 +1,122 @@
+(* `bench fleet`: how does measurement throughput scale with worker
+   count when lanes die?  Per-config costs come from the real
+   evaluator (simulated-clock deltas over sampled gemm configs), and
+   the fleet's scheduling — FIFO batches, heartbeat-timeout requeue,
+   elastic rejoin — is replayed by the deterministic
+   [Ft_fleet.Sim], at 1/2/4/8 workers with a 10% injected
+   lane-death rate.  Results go to BENCH_fleet.json; CI gates
+   4-worker speedup >= 2x over 1 worker. *)
+
+open Ft_schedule
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some s -> (
+      match int_of_string_opt s with Some n when n > 0 -> n | _ -> default)
+  | None -> default
+
+(* FT_BENCH_FLEET_CONFIGS shrinks the sampled workload for smoke
+   jobs. *)
+let n_configs () = env_int "FT_BENCH_FLEET_CONFIGS" 512
+
+let batch = 16
+let death_rate = 0.1
+let heartbeat_s = 2.0
+let rejoin_s = 1.0
+let worker_counts = [ 1; 2; 4; 8 ]
+
+(* Per-config measurement costs from the real accounting: sample the
+   gemm space and charge each config through an n_parallel=1
+   evaluator, reading the simulated-clock delta — compile + host
+   overhead + kernel runs for valid schedules, the failed-compile
+   cost for invalid ones.  Deterministic for a given seed. *)
+let sample_costs n =
+  let graph = Ft_ir.Operators.gemm ~m:512 ~n:512 ~k:512 in
+  let space = Space.make graph Target.v100 in
+  let rng = Ft_util.Rng.create Bench_common.seed in
+  let evaluator = Ft_explore.Evaluator.create space in
+  Array.init n (fun _ ->
+      let cfg = Space.random_config rng space in
+      let before = Ft_explore.Evaluator.clock evaluator in
+      ignore (Ft_explore.Evaluator.measure evaluator cfg);
+      let cost = Ft_explore.Evaluator.clock evaluator -. before in
+      (* a duplicate draw costs only the cache hit; floor it at the
+         model-query cost so every simulated config occupies a lane *)
+      Float.max cost 0.002)
+
+let write_json ~n ~results path =
+  let open Ft_store in
+  let base =
+    match results with
+    | r :: _ -> r.Ft_fleet.Sim.throughput
+    | [] -> 0.
+  in
+  let json =
+    Json.Obj
+      [
+        ("bench", Json.Str "fleet");
+        ("op", Json.Str "gemm 512x512x512 on v100");
+        ("evals", Json.Num (float_of_int n));
+        ("batch", Json.Num (float_of_int batch));
+        ("lane_death_rate", Json.Num death_rate);
+        ("heartbeat_s", Json.Num heartbeat_s);
+        ("rejoin_s", Json.Num rejoin_s);
+        ( "workers",
+          Json.Arr
+            (List.map
+               (fun (r : Ft_fleet.Sim.result) ->
+                 Json.Obj
+                   [
+                     ("workers", Json.Num (float_of_int r.workers));
+                     ("makespan_s", Json.Num r.makespan_s);
+                     ("throughput_evals_per_s", Json.Num r.throughput);
+                     ( "speedup_vs_1",
+                       Json.Num
+                         (if base > 0. then r.throughput /. base else 0.) );
+                     ("deaths", Json.Num (float_of_int r.deaths));
+                     ("requeues", Json.Num (float_of_int r.requeues));
+                   ])
+               results) );
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string json);
+  output_string oc "\n";
+  close_out oc
+
+let run () =
+  Bench_common.section "FLEET: simulated worker scaling under lane death";
+  let n = n_configs () in
+  let costs = sample_costs n in
+  let total = Array.fold_left ( +. ) 0. costs in
+  Printf.printf
+    "\n%d configs sampled from gemm 512^3 on v100; %.1f simulated seconds of \
+     measurement; batch %d, %.0f%% lane-death rate\n"
+    n total batch (death_rate *. 100.);
+  let results =
+    List.map
+      (fun workers ->
+        Ft_fleet.Sim.run ~seed:Bench_common.seed ~batch ~death_rate
+          ~heartbeat_s ~rejoin_s ~costs ~workers ())
+      worker_counts
+  in
+  let base =
+    match results with r :: _ -> r.Ft_fleet.Sim.throughput | [] -> 0.
+  in
+  Ft_util.Table.print
+    ~header:
+      [ "workers"; "makespan (s)"; "evals/s"; "speedup"; "deaths"; "requeues" ]
+    (List.map
+       (fun (r : Ft_fleet.Sim.result) ->
+         [
+           string_of_int r.workers;
+           Printf.sprintf "%.1f" r.makespan_s;
+           Printf.sprintf "%.2f" r.throughput;
+           Printf.sprintf "%.2fx"
+             (if base > 0. then r.throughput /. base else 0.);
+           string_of_int r.deaths;
+           string_of_int r.requeues;
+         ])
+       results);
+  write_json ~n ~results "BENCH_fleet.json";
+  print_endline "\n[wrote BENCH_fleet.json]"

@@ -22,6 +22,7 @@ let experiments =
     ("micro", Micro.run);
     ("faults", Faults.run);
     ("store", Store_bench.run);
+    ("fleet", Fleet_bench.run);
   ]
 
 let () =

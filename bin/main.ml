@@ -4,59 +4,16 @@
 
 open Cmdliner
 
-let targets =
-  [ ("v100", Flextensor.Target.v100);
-    ("p100", Flextensor.Target.p100);
-    ("titanx", Flextensor.Target.titan_x);
-    ("xeon", Flextensor.Target.xeon_e5_2699_v4);
-    ("vu9p", Flextensor.Target.vu9p) ]
+(* The target table and operator construction live in
+   Flextensor.Fleet_task: the one source shared by this CLI and the
+   fleet wire format, so a worker given a task builds exactly the
+   graph `flextensor optimize OP DIMS` does. *)
+let targets = Flextensor.Fleet_task.targets
 
-(* Operator construction from a name and dims, e.g.
-   `gemm 1024 1024 1024` or `conv2d 1 64 128 56 56 3`. *)
 let build_graph op dims =
-  match (op, dims) with
-  | "gemv", [ m; k ] -> Flextensor.Operators.gemv ~m ~k
-  | "gemm", [ m; n; k ] -> Flextensor.Operators.gemm ~m ~n ~k
-  | "bilinear", [ m; n; k; l ] -> Flextensor.Operators.bilinear ~m ~n ~k ~l
-  | "conv1d", [ batch; in_channels; out_channels; length; kernel ] ->
-      Flextensor.Operators.conv1d ~batch ~in_channels ~out_channels ~length ~kernel
-        ~pad:(kernel / 2) ()
-  | "t1d", [ batch; in_channels; out_channels; length; kernel ] ->
-      Flextensor.Operators.conv1d_transposed ~batch ~in_channels ~out_channels
-        ~length ~kernel ~stride:2 ~pad:(kernel / 2) ()
-  | "conv2d", [ batch; in_channels; out_channels; height; width; kernel ] ->
-      Flextensor.Operators.conv2d ~batch ~in_channels ~out_channels ~height ~width
-        ~kernel ~pad:(kernel / 2) ()
-  | "conv2d", [ batch; in_channels; out_channels; height; width; kernel; stride ] ->
-      Flextensor.Operators.conv2d ~batch ~in_channels ~out_channels ~height ~width
-        ~kernel ~stride ~pad:(kernel / 2) ()
-  | "t2d", [ batch; in_channels; out_channels; height; width; kernel ] ->
-      Flextensor.Operators.conv2d_transposed ~batch ~in_channels ~out_channels
-        ~height ~width ~kernel ~stride:2 ~pad:(kernel / 2) ()
-  | "conv3d", [ batch; in_channels; out_channels; depth; height; width; kernel ] ->
-      Flextensor.Operators.conv3d ~batch ~in_channels ~out_channels ~depth ~height
-        ~width ~kernel ~pad:(kernel / 2) ()
-  | "grp", [ batch; in_channels; out_channels; height; width; kernel; groups ] ->
-      Flextensor.Operators.group_conv2d ~batch ~in_channels ~out_channels ~height
-        ~width ~kernel ~pad:(kernel / 2) ~groups ()
-  | "dep", [ batch; channels; height; width; kernel ] ->
-      Flextensor.Operators.depthwise_conv2d ~batch ~channels ~height ~width ~kernel
-        ~pad:(kernel / 2) ()
-  | "dil", [ batch; in_channels; out_channels; height; width; kernel; dilation ] ->
-      Flextensor.Operators.dilated_conv2d ~batch ~in_channels ~out_channels ~height
-        ~width ~kernel ~pad:dilation ~dilation ()
-  | "bcm", [ m; n; k; block ] -> Flextensor.Operators.bcm ~m ~n ~k ~block
-  | "shift", [ batch; channels; height; width ] ->
-      Flextensor.Operators.shift ~batch ~channels ~height ~width
-  | "yolo", [ index ] when index >= 1 && index <= 15 ->
-      Ft_workloads.Yolo.graph (Ft_workloads.Yolo.find (Printf.sprintf "C%d" index))
-  | _ ->
-      raise
-        (Invalid_argument
-           (Printf.sprintf
-              "unknown operator %s with %d dims; try e.g. `gemm 512 512 512`, \
-               `conv2d 1 64 128 56 56 3`, `yolo 7`"
-              op (List.length dims)))
+  match Flextensor.Fleet_task.graph_of ~op ~dims with
+  | Ok graph -> graph
+  | Error msg -> raise (Invalid_argument msg)
 
 let op_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"OP" ~doc:"Operator name")
@@ -186,6 +143,40 @@ let resolve_faults = function
               Printf.eprintf "warning: ignoring FT_FAULTS=%S (%s)\n%!" s msg;
               Flextensor.Fault.zero))
 
+(* --fleet N promotes evaluation to a worker-process fleet: this
+   process becomes the coordinator and spawns N local `flextensor
+   worker` children; remote workers may join (and leave) at any time
+   via `flextensor worker --coordinator ADDR`.  N = 0 starts the
+   coordinator alone and waits for external workers (falling back to
+   local compute after the grace period). *)
+let fleet_arg =
+  let nonneg =
+    let parse s =
+      match Arg.conv_parser Arg.int s with
+      | Ok n when n >= 0 -> Ok n
+      | Ok _ -> Error (`Msg "expected a non-negative integer")
+      | Error _ as e -> e
+    in
+    Arg.conv (parse, Arg.conv_printer Arg.int)
+  in
+  Arg.(value & opt (some nonneg) None & info [ "fleet" ] ~docv:"N"
+         ~doc:"Evaluate through a distributed fleet: coordinate workers \
+               over the daemon protocol and spawn $(docv) local worker \
+               processes ($(b,0) = external workers only; they join with \
+               $(b,flextensor worker --coordinator ADDR)).  Results are \
+               bit-for-bit identical to the in-process pool.")
+
+let fleet_listen_arg =
+  Arg.(value & opt string "127.0.0.1:0" & info [ "fleet-listen" ] ~docv:"ADDR"
+         ~doc:"Coordinator listen address ($(b,HOST:PORT), $(b,:PORT), \
+               $(b,PORT), or $(b,unix:PATH)); port 0 picks an ephemeral \
+               port, printed at startup.")
+
+let fleet_grace_arg =
+  Arg.(value & opt float 5.0 & info [ "fleet-grace" ] ~docv:"SECONDS"
+         ~doc:"How long the coordinator waits for a first worker before \
+               computing batches itself.")
+
 let checkpoint_arg =
   Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE"
          ~doc:"Periodically append resumable search state (incumbent, \
@@ -270,7 +261,7 @@ let space_cmd =
 
 let optimize_cmd =
   let run op dims target seed trials search jobs n_parallel trace log reuse
-      faults checkpoint resume =
+      faults checkpoint resume fleet fleet_listen fleet_grace =
     with_graph op dims (fun graph ->
         set_jobs jobs;
         set_trace trace;
@@ -305,6 +296,73 @@ let optimize_cmd =
           | _ -> None
         in
         let reuse = Option.is_some reuse in
+        (* Fleet mode: this process coordinates, N spawned children
+           (plus any externally joined `flextensor worker`s) evaluate.
+           The readiness line carries the bound address so scripts can
+           point workers at an ephemeral port. *)
+        let fleet_ctx =
+          match fleet with
+          | None -> None
+          | Some n ->
+              let task =
+                Flextensor.Fleet_task.make ~op ~dims
+                  ~target:(Flextensor.Fleet_task.target_key target) ()
+              in
+              let coordinator =
+                try
+                  Flextensor.Fleet_coordinator.create ~task
+                    ~grace_s:fleet_grace ~listen:fleet_listen ()
+                with Failure msg ->
+                  Printf.eprintf "error: %s\n" msg;
+                  exit 1
+              in
+              ignore (Flextensor.Fleet_coordinator.start coordinator);
+              let addr = Flextensor.Fleet_coordinator.address coordinator in
+              Printf.printf "fleet: coordinating on %s\n%!" addr;
+              let pids =
+                List.init n (fun _ ->
+                    Unix.create_process Sys.executable_name
+                      [| Sys.executable_name; "worker"; "--coordinator"; addr |]
+                      Unix.stdin Unix.stdout Unix.stderr)
+              in
+              Some (coordinator, pids)
+        in
+        let dispatch =
+          Option.map
+            (fun (c, _) -> Flextensor.Fleet_coordinator.dispatch c)
+            fleet_ctx
+        in
+        (* Stop the coordinator (subsequent claims answer Done, so
+           workers exit cleanly) and reap the children. *)
+        let finish_fleet () =
+          match fleet_ctx with
+          | None -> ()
+          | Some (c, pids) ->
+              let stats = Flextensor.Fleet_coordinator.stats c in
+              Flextensor.Fleet_coordinator.stop c;
+              (* Spawned children are reaped below, which keeps their
+                 connections alive until they poll once more and hear
+                 Done.  Externally attached workers (--fleet 0) have no
+                 waitpid holding the process open, so linger briefly —
+                 their next claim/heartbeat (every idle backoff) must
+                 find the connection still up to exit cleanly instead
+                 of diagnosing a coordinator crash. *)
+              if pids = [] && stats.Flextensor.Fleet_coordinator.workers_seen > 0
+              then Thread.delay 0.25;
+              List.iter
+                (fun pid ->
+                  try ignore (Unix.waitpid [] pid)
+                  with Unix.Unix_error _ -> ())
+                pids;
+              Printf.printf
+                "fleet: %d remote / %d local batches, %d requeue(s), %d \
+                 steal(s), %d worker(s) seen\n"
+                stats.Flextensor.Fleet_coordinator.remote_batches
+                stats.Flextensor.Fleet_coordinator.local_batches
+                stats.Flextensor.Fleet_coordinator.requeues
+                stats.Flextensor.Fleet_coordinator.steals
+                stats.Flextensor.Fleet_coordinator.workers_seen
+        in
         let options =
           { Flextensor.default_options with seed; n_trials = trials; search;
             n_parallel; faults; checkpoint; resume }
@@ -348,8 +406,10 @@ let optimize_cmd =
                   ("seed", Int seed);
                   ("trials", Int trials) ]
               (fun () ->
-                Flextensor.optimize ~options ?store ?remote ~reuse graph target)
+                Flextensor.optimize ~options ?store ?remote ~reuse ?dispatch
+                  graph target)
           with Flextensor.Fault.Injected_crash trial ->
+            finish_fleet ();
             finish_trace ();
             Printf.eprintf
               "error: injected crash at trial %d%s\n" trial
@@ -360,6 +420,7 @@ let optimize_cmd =
               | None -> " (no --checkpoint; progress lost)");
             exit 9
         in
+        finish_fleet ();
         (if not report.perf.Flextensor.Perf.valid then begin
            finish_trace ();
            Printf.eprintf
@@ -389,7 +450,8 @@ let optimize_cmd =
   Cmd.v (Cmd.info "optimize" ~doc:"Explore the schedule space and report the best")
     Term.(const run $ op_arg $ dims_arg $ target_arg $ seed_arg $ trials_arg
           $ method_arg $ jobs_arg $ n_parallel_arg $ trace_arg $ log_arg
-          $ reuse_arg $ faults_arg $ checkpoint_arg $ resume_arg)
+          $ reuse_arg $ faults_arg $ checkpoint_arg $ resume_arg $ fleet_arg
+          $ fleet_listen_arg $ fleet_grace_arg)
 
 (* `schedule replay`: reapply a tuning-log entry without searching and
    check that the recomputed value equals the logged best bit-for-bit
@@ -505,6 +567,40 @@ let methods_cmd =
        ~doc:"List the registered search methods (usable with $(b,optimize \
              -m); names are stable tuning-log keys)")
     Term.(const run $ quiet_arg)
+
+(* `flextensor worker`: serve a fleet coordinator until it finishes.
+   Workers are elastic — start them before or during an `optimize
+   --fleet` run, kill them freely; a dead worker's claimed batches
+   requeue on the coordinator's heartbeat timeout. *)
+let worker_cmd =
+  let coordinator_arg =
+    Arg.(required & opt (some string) None & info [ "coordinator" ]
+           ~docv:"ADDR"
+           ~doc:"Coordinator address, as printed by $(b,optimize --fleet) \
+                 ($(b,HOST:PORT) or $(b,unix:PATH)).")
+  in
+  let name_arg =
+    Arg.(value & opt (some string) None & info [ "name" ] ~docv:"NAME"
+           ~doc:"Worker name, unique within the fleet (default: \
+                 $(b,worker-<pid>)).")
+  in
+  let retries_arg =
+    Arg.(value & opt int 5 & info [ "retries" ] ~docv:"N"
+           ~doc:"Connection (re)attempts before giving up.")
+  in
+  let run coordinator name retries =
+    match Flextensor.Fleet_worker.run ?name ~retries ~coordinator () with
+    | Ok batches ->
+        Printf.printf "worker: done, %d batch(es) computed\n" batches
+    | Error msg ->
+        Printf.eprintf "error: worker: %s\n" msg;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "worker"
+       ~doc:"Join a tuning fleet: pull evaluation batches from an \
+             $(b,optimize --fleet) coordinator until the run completes")
+    Term.(const run $ coordinator_arg $ name_arg $ retries_arg)
 
 let compare_cmd =
   let run op dims target seed trials jobs =
@@ -701,4 +797,4 @@ let () =
           (Cmd.info "flextensor" ~version:"1.0.0"
              ~doc:"Automatic schedule exploration for tensor computation")
           [ analyze_cmd; space_cmd; optimize_cmd; schedule_cmd; verify_cmd;
-            compare_cmd; methods_cmd; serve_cmd; store_cmd ]))
+            compare_cmd; methods_cmd; serve_cmd; store_cmd; worker_cmd ]))

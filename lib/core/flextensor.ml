@@ -32,6 +32,12 @@ module Store_shard = Ft_store.Shard
 module Store_protocol = Ft_store.Protocol
 module Store_server = Ft_store.Server
 module Store_client = Ft_store.Client
+module Evaluator = Ft_explore.Evaluator
+module Fleet_task = Ft_fleet.Task
+module Fleet_protocol = Ft_fleet.Protocol
+module Fleet_coordinator = Ft_fleet.Coordinator
+module Fleet_worker = Ft_fleet.Worker
+module Fleet_sim = Ft_fleet.Sim
 
 (* The AutoTVM registrations live in [Ft_baselines.Autotvm]; reference
    the module here so it is linked (and they run) for every consumer of
@@ -101,9 +107,10 @@ type report = {
   provenance : provenance;
 }
 
-let params_of_options options ~transfer seed =
+let params_of_options options ?dispatch ~transfer seed =
   {
     Search_loop.default_params with
+    dispatch;
     seed;
     n_trials = options.n_trials;
     n_starts = options.n_starts;
@@ -118,8 +125,8 @@ let params_of_options options ~transfer seed =
     resume = options.resume;
   }
 
-let run_one_search (m : Method.t) options ~transfer seed space =
-  m.search (params_of_options options ~transfer seed) space
+let run_one_search (m : Method.t) options ?dispatch ~transfer seed space =
+  m.search (params_of_options options ?dispatch ~transfer seed) space
 
 (* Rugged landscapes reward independent restarts; results are merged by
    keeping the best run's schedule, summing the exploration accounting,
@@ -128,11 +135,12 @@ let run_one_search (m : Method.t) options ~transfer seed space =
    simulated time and eval counts, with the best-value curve made
    monotone across the joins) — so [time_to_reach] on a merged result
    compares like against like. *)
-let run_search (m : Method.t) options ~transfer space =
+let run_search (m : Method.t) options ?dispatch ~transfer space =
   let restarts = max 1 options.restarts in
   let runs =
     List.init restarts (fun i ->
-        run_one_search m options ~transfer (options.seed + (i * 57)) space)
+        run_one_search m options ?dispatch ~transfer (options.seed + (i * 57))
+          space)
   in
   match runs with
   | [] -> assert false
@@ -213,8 +221,8 @@ let record_of_result space method_name seed (result : Driver.result) =
    cold search's trajectory — untouched.  A remote failure (dead
    daemon, transport error) degrades into a miss: reuse may fall back
    to a cold search, it never fails one. *)
-let optimize ?(options = default_options) ?store ?remote ?(reuse = false) graph
-    target =
+let optimize ?(options = default_options) ?store ?remote ?(reuse = false)
+    ?dispatch graph target =
   let graph = Op.validate_exn graph in
   let space = Space.make graph target in
   let m = Method.find_exn options.search in
@@ -274,7 +282,7 @@ let optimize ?(options = default_options) ?store ?remote ?(reuse = false) graph
               | Some s -> Transfer.seeds ~method_name s space
               | None -> [])
       in
-      let result = run_search m options ~transfer space in
+      let result = run_search m options ?dispatch ~transfer space in
       let record = record_of_result space method_name options.seed result in
       (match store with Some s -> Store.add s record | None -> ());
       (match remote with

@@ -99,6 +99,26 @@ module Store_server = Ft_store.Server
     remote repository behind [optimize --reuse=HOST:PORT]. *)
 module Store_client = Ft_store.Client
 
+(** Point evaluation with the simulated clock
+    ({!Ft_explore.Evaluator}) — exposed for its [dispatch] type, the
+    hook {!optimize}'s [?dispatch] plugs a fleet coordinator into. *)
+module Evaluator = Ft_explore.Evaluator
+
+(** The distributed tuning fleet (DESIGN.md §14): {!Fleet_task} (the
+    shared unit of work), {!Fleet_protocol} (claim/result/join/leave/
+    heartbeat frames over the daemon's framing), {!Fleet_coordinator}
+    (batch queue with work-stealing, elastic membership, and
+    heartbeat-timeout requeue — its [dispatch] is bit-for-bit the
+    in-process pool), {!Fleet_worker} (`flextensor worker`), and
+    {!Fleet_sim} (the deterministic scaling simulation behind `bench
+    fleet`). *)
+module Fleet_task = Ft_fleet.Task
+
+module Fleet_protocol = Ft_fleet.Protocol
+module Fleet_coordinator = Ft_fleet.Coordinator
+module Fleet_worker = Ft_fleet.Worker
+module Fleet_sim = Ft_fleet.Sim
+
 (** @deprecated The pre-registry closed method variant, kept as a shim:
     convert with {!search_name} and use the string in
     {!options.search}.  New methods appear only in the registry. *)
@@ -180,12 +200,18 @@ type report = {
     refitted nearest-shape schedules appended after the regular seed
     points, leaving the RNG draw sequence untouched.  Remote
     transport failures degrade into misses — a dead daemon can cost a
-    warm start, never fail a search. *)
+    warm start, never fail a search.
+
+    [dispatch] routes batched fresh evaluations to an external backend
+    (a {!Fleet_coordinator}'s [dispatch]); by the {!Evaluator.dispatch}
+    contract the report is bit-for-bit what the in-process pool
+    produces. *)
 val optimize :
   ?options:options ->
   ?store:Store.t ->
   ?remote:Store_client.t ->
   ?reuse:bool ->
+  ?dispatch:Evaluator.dispatch ->
   Op.graph ->
   Target.t ->
   report

@@ -23,12 +23,21 @@ let resilience ?(max_retries = 2) ?(backoff_s = 0.05) ?(noisy_repeats = 3)
     invalid_arg "Evaluator.resilience: timeout_cap_s must be >= 0";
   { plan; max_retries; backoff_s; noisy_repeats; timeout_cap_s }
 
+(* An external evaluation backend for [prepare]'s fresh points (the
+   fleet coordinator, DESIGN.md §14).  Must return one entry per input,
+   in input order, each bit-for-bit equal to what [compute] would
+   produce — dispatch replaces only *where* the pure cost model runs,
+   never what it returns. *)
+type dispatch =
+  (Ft_schedule.Config.t * string) list -> (float * Ft_hw.Perf.t) list
+
 type t = {
   space : Ft_schedule.Space.t;
   flops_scale : float;
   mode : mode;
   n_parallel : int;  (* simulated measurement devices (lanes) *)
   pool : Ft_par.Pool.t option;  (* None = the process-wide default *)
+  dispatch : dispatch option;  (* fleet backend for batched fresh points *)
   resilience : resilience option;
   faulty : bool;  (* resilience present AND the plan injects faults *)
   mutable live_lanes : int;  (* n_parallel minus injected lane deaths *)
@@ -53,7 +62,8 @@ let failed_compile_cost = 0.1
 let model_query_cost = 0.002
 let cache_hit_cost = 0.0005
 
-let create ?(flops_scale = 1.0) ?mode ?(n_parallel = 1) ?pool ?resilience space =
+let create ?(flops_scale = 1.0) ?mode ?(n_parallel = 1) ?pool ?dispatch
+    ?resilience space =
   if n_parallel < 1 then invalid_arg "Evaluator.create: n_parallel must be >= 1";
   let mode =
     match mode with Some m -> m | None -> default_mode space.Ft_schedule.Space.target
@@ -63,7 +73,7 @@ let create ?(flops_scale = 1.0) ?mode ?(n_parallel = 1) ?pool ?resilience space 
     | Some r -> Ft_fault.Plan.injects_measurement_faults r.plan
     | None -> false
   in
-  { space; flops_scale; mode; n_parallel; pool; resilience; faulty;
+  { space; flops_scale; mode; n_parallel; pool; dispatch; resilience; faulty;
     live_lanes = n_parallel;
     cache = Hashtbl.create 256; clock_s = 0.; n_evals = 0 }
 
@@ -251,8 +261,9 @@ let prepare t keyed =
   in
   let computed = Hashtbl.create (List.length to_compute) in
   let entries =
-    match to_compute with
-    | [] | [ _ ] -> List.map (fun (cfg, _) -> compute t cfg) to_compute
+    match (t.dispatch, to_compute) with
+    | Some d, _ :: _ -> d to_compute  (* fleet backend; same pure results *)
+    | _, ([] | [ _ ]) -> List.map (fun (cfg, _) -> compute t cfg) to_compute
     | _ -> Ft_par.Pool.map (pool_of t) (fun (cfg, _) -> compute t cfg) to_compute
   in
   List.iter2

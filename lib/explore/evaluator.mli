@@ -42,16 +42,29 @@ val resilience :
 
 val default_mode : Ft_schedule.Target.t -> mode
 
+(** An external evaluation backend for {!prepare}'s fresh points — the
+    fleet coordinator (DESIGN.md §14).  Contract: return one entry per
+    input, in input order, each bit-for-bit what the local cost model
+    would produce.  A dispatch changes only {e where} the pure
+    computation runs; results, cache contents, clock charges and
+    commit order are untouched, so a dispatched search is identical to
+    an in-process one. *)
+type dispatch =
+  (Ft_schedule.Config.t * string) list -> (float * Ft_hw.Perf.t) list
+
 (** [create space] builds an evaluator.  [n_parallel] (default 1) is
     the number of simulated measurement devices the clock assumes;
     [pool] is the domain pool used for batched evaluation (default:
-    {!Ft_par.Pool.default}); [resilience] enables fault injection and
-    the retry / quarantine policy around it — omitted, or with a plan
-    that injects nothing, the evaluator is bit-for-bit the fault-free
-    one.  Raises [Invalid_argument] when [n_parallel < 1]. *)
+    {!Ft_par.Pool.default}); [dispatch] routes batched fresh points to
+    an external backend instead of the pool; [resilience] enables
+    fault injection and the retry / quarantine policy around it —
+    omitted, or with a plan that injects nothing, the evaluator is
+    bit-for-bit the fault-free one.  Raises [Invalid_argument] when
+    [n_parallel < 1]. *)
 val create :
   ?flops_scale:float -> ?mode:mode -> ?n_parallel:int ->
-  ?pool:Ft_par.Pool.t -> ?resilience:resilience -> Ft_schedule.Space.t -> t
+  ?pool:Ft_par.Pool.t -> ?dispatch:dispatch -> ?resilience:resilience ->
+  Ft_schedule.Space.t -> t
 
 (** Add search bookkeeping time to the simulated clock. *)
 val charge : t -> float -> unit

@@ -26,6 +26,10 @@ type params = {
   mode : Evaluator.mode option;
   n_parallel : int option;  (* simulated measurement devices (clock model) *)
   pool : Ft_par.Pool.t option;  (* domain pool for batched evaluation *)
+  dispatch : Evaluator.dispatch option;
+      (* external evaluation backend (fleet coordinator); None = the
+         in-process pool.  Never changes results, only where the pure
+         cost model runs. *)
   faults : Ft_fault.Plan.t;  (* injected failures (Plan.zero = none) *)
   resilience : Evaluator.resilience option;
       (* retry/quarantine policy override; None = Evaluator defaults
@@ -51,6 +55,7 @@ let default_params =
     mode = None;
     n_parallel = None;
     pool = None;
+    dispatch = None;
     faults = Ft_fault.Plan.zero;
     resilience = None;
     checkpoint_path = None;
@@ -125,7 +130,8 @@ let run (module P : POLICY) params space =
   in
   let evaluator =
     Evaluator.create ?flops_scale:params.flops_scale ?mode:params.mode
-      ?n_parallel:params.n_parallel ?pool:params.pool ?resilience space
+      ?n_parallel:params.n_parallel ?pool:params.pool ?dispatch:params.dispatch
+      ?resilience space
   in
   let rid = run_id ~method_name:P.method_name params space in
   (* Resume state is read before any RNG draw or measurement; a

@@ -25,6 +25,10 @@ type params = {
   mode : Evaluator.mode option;
   n_parallel : int option;  (** simulated measurement devices (clock model) *)
   pool : Ft_par.Pool.t option;  (** domain pool for batched evaluation *)
+  dispatch : Evaluator.dispatch option;
+      (** external evaluation backend (the fleet coordinator's
+          {!Evaluator.dispatch}); [None] = the in-process pool.  Never
+          changes results, only where the pure cost model runs *)
   faults : Ft_fault.Plan.t;
       (** injected measurement failures ({!Ft_fault.Plan.zero} = none;
           a zero plan leaves the run bit-for-bit unchanged) *)

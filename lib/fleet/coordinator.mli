@@ -1,0 +1,73 @@
+(** The fleet coordinator: shards each evaluation wave into batches
+    workers pull over the {!Protocol}, with work-stealing for
+    stragglers, elastic join/leave mid-run, and heartbeat-timeout
+    requeue of batches from dead workers (DESIGN.md §14).
+
+    {!dispatch} is shaped to plug straight into
+    [Ft_explore.Evaluator]'s [dispatch] hook: it blocks until every
+    point of the wave has an entry and returns them in input order.
+    Entries are a pure function of the task and each config, so the
+    result is bit-for-bit what the in-process pool computes — no
+    matter which worker (or the local fallback) produced each batch,
+    or in what order batches completed. *)
+
+type t
+
+type stats = {
+  remote_batches : int;  (** batches completed by fleet workers *)
+  local_batches : int;  (** batches the local fallback computed *)
+  requeues : int;  (** batches reclaimed from dead / departed workers *)
+  steals : int;  (** straggler batches re-issued to a faster worker *)
+  workers_seen : int;  (** joins over the coordinator's lifetime *)
+}
+
+(** [create ~task ~listen ()] binds and listens ({!Protocol.parse_addr}
+    forms; TCP port 0 picks an ephemeral port, unix paths are claimed
+    via {!Ft_store.Server.claim_unix_path} — a live daemon on the path
+    is never orphaned).  [batch_size] (default 16) configs per batch;
+    [heartbeat_s] (default 2) the worker liveness interval — a worker
+    silent for twice this is presumed dead and its claims requeue;
+    [steal_after_s] (default 5) how long a claim may sit before another
+    worker may steal it; [local_fallback] (default true) lets
+    {!dispatch} compute batches itself when no live worker exists,
+    after [grace_s] (default 1) has given the fleet time to make first
+    contact.  Raises [Failure] on a bad task or address. *)
+val create :
+  ?backlog:int ->
+  ?batch_size:int ->
+  ?heartbeat_s:float ->
+  ?steal_after_s:float ->
+  ?grace_s:float ->
+  ?local_fallback:bool ->
+  task:Task.t ->
+  listen:string ->
+  unit ->
+  t
+
+(** The bound address — with the real port when ephemeral. *)
+val address : t -> string
+
+val task : t -> Task.t
+val stats : t -> stats
+
+(** Request dispatcher (exposed for tests): the mapping from one fleet
+    request to its response, including all queue bookkeeping. *)
+val handle : t -> Protocol.request -> Protocol.response
+
+(** Blocking accept loop; returns after {!stop}. *)
+val serve : t -> unit
+
+(** [serve] on a background thread. *)
+val start : t -> Thread.t
+
+(** Evaluate one wave through the fleet: shard into batches, block
+    until all complete (requeueing and stealing as needed), return
+    entries in input order.  Safe to call repeatedly; one wave is in
+    flight at a time. *)
+val dispatch :
+  t -> (Ft_schedule.Config.t * string) list -> (float * Ft_hw.Perf.t) list
+
+(** Stop accepting, answer subsequent claims/heartbeats with [Done],
+    and close the listen socket (idempotent; unlinks only a unix
+    socket this process bound, before the fd closes). *)
+val stop : t -> unit

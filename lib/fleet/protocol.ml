@@ -1,0 +1,190 @@
+(* The fleet extension of the tuning-service wire format: the same
+   length-prefixed JSON text frames ({!Ft_store.Protocol} framing is
+   reused verbatim), carrying claim/result/join/leave/heartbeat
+   traffic between a coordinator and its workers. *)
+
+module Json = Ft_store.Json
+
+type entry = float * Ft_hw.Perf.t
+
+type request =
+  | Join of { worker : string }
+  | Claim of { worker : string }
+  | Result of { worker : string; batch : int; entries : entry list }
+  | Heartbeat of { worker : string }
+  | Leave of { worker : string }
+
+type response =
+  | Welcome of { task : Task.t; heartbeat_s : float }
+  | Work of { batch : int; configs : string list }
+  | Idle of { backoff_s : float }
+  | Done
+  | Ack
+  | Error of string
+
+(* An entry is one cost-model result.  The invalid case needs care:
+   [Perf.invalid] carries [time_s = infinity], and the JSON writer
+   renders non-finite floats as [null] — so an invalid perf travels as
+   its [valid] flag and note only, and the decoder rebuilds it through
+   [Perf.invalid], which restores the infinity exactly.  Valid perfs
+   have finite fields and round-trip bit-for-bit via %.17g. *)
+let entry_to_value ((value, perf) : entry) =
+  if perf.Ft_hw.Perf.valid then
+    Json.Obj
+      [
+        ("value", Json.Num value);
+        ("time_s", Json.Num perf.Ft_hw.Perf.time_s);
+        ("gflops", Json.Num perf.Ft_hw.Perf.gflops);
+        ("valid", Json.Bool true);
+        ("note", Json.Str perf.Ft_hw.Perf.note);
+      ]
+  else
+    Json.Obj
+      [
+        ("value", Json.Num value);
+        ("valid", Json.Bool false);
+        ("note", Json.Str perf.Ft_hw.Perf.note);
+      ]
+
+let ( let* ) = Result.bind
+
+let field name v =
+  match Json.member name v with
+  | Some x -> Ok x
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let to_bool = function
+  | Json.Bool b -> Ok b
+  | _ -> Error "expected a boolean"
+
+let entry_of_value v : (entry, string) result =
+  let* value = Result.bind (field "value" v) Json.to_num in
+  let* valid = Result.bind (field "valid" v) to_bool in
+  let* note = Result.bind (field "note" v) Json.to_str in
+  if not valid then Ok (value, Ft_hw.Perf.invalid note)
+  else
+    let* time_s = Result.bind (field "time_s" v) Json.to_num in
+    let* gflops = Result.bind (field "gflops" v) Json.to_num in
+    Ok (value, { Ft_hw.Perf.time_s; gflops; valid = true; note })
+
+let request_to_value = function
+  | Join { worker } ->
+      Json.Obj [ ("req", Json.Str "join"); ("worker", Json.Str worker) ]
+  | Claim { worker } ->
+      Json.Obj [ ("req", Json.Str "claim"); ("worker", Json.Str worker) ]
+  | Result { worker; batch; entries } ->
+      Json.Obj
+        [
+          ("req", Json.Str "result");
+          ("worker", Json.Str worker);
+          ("batch", Json.Num (float_of_int batch));
+          ("entries", Json.Arr (List.map entry_to_value entries));
+        ]
+  | Heartbeat { worker } ->
+      Json.Obj [ ("req", Json.Str "heartbeat"); ("worker", Json.Str worker) ]
+  | Leave { worker } ->
+      Json.Obj [ ("req", Json.Str "leave"); ("worker", Json.Str worker) ]
+
+let request_to_string r = Json.to_string (request_to_value r)
+
+let collect f items =
+  List.fold_right
+    (fun item acc ->
+      let* tl = acc in
+      let* hd = f item in
+      Ok (hd :: tl))
+    items (Ok [])
+
+let request_of_value v =
+  let* kind = Result.bind (field "req" v) Json.to_str in
+  match kind with
+  | "join" ->
+      let* worker = Result.bind (field "worker" v) Json.to_str in
+      Ok (Join { worker })
+  | "claim" ->
+      let* worker = Result.bind (field "worker" v) Json.to_str in
+      Ok (Claim { worker })
+  | "result" ->
+      let* worker = Result.bind (field "worker" v) Json.to_str in
+      let* batch = Result.bind (field "batch" v) Json.to_int in
+      let* entries =
+        match field "entries" v with
+        | Ok (Json.Arr items) -> collect entry_of_value items
+        | Ok _ -> Error "result: entries must be an array"
+        | Error _ as e -> e
+      in
+      Ok (Result { worker; batch; entries })
+  | "heartbeat" ->
+      let* worker = Result.bind (field "worker" v) Json.to_str in
+      Ok (Heartbeat { worker })
+  | "leave" ->
+      let* worker = Result.bind (field "worker" v) Json.to_str in
+      Ok (Leave { worker })
+  | other -> Error (Printf.sprintf "unknown fleet request %S" other)
+
+(* [Stdlib.Error]: the [response] type's [Error] constructor shadows
+   the result one for unqualified uses in ambiguous positions. *)
+let request_of_string s =
+  match Json.of_string s with
+  | Stdlib.Error e -> Stdlib.Error e
+  | Stdlib.Ok v -> request_of_value v
+
+let response_to_value = function
+  | Welcome { task; heartbeat_s } ->
+      Json.Obj
+        [
+          ("resp", Json.Str "welcome");
+          ("task", Task.to_value task);
+          ("heartbeat_s", Json.Num heartbeat_s);
+        ]
+  | Work { batch; configs } ->
+      Json.Obj
+        [
+          ("resp", Json.Str "work");
+          ("batch", Json.Num (float_of_int batch));
+          ("configs", Json.Arr (List.map (fun c -> Json.Str c) configs));
+        ]
+  | Idle { backoff_s } ->
+      Json.Obj [ ("resp", Json.Str "idle"); ("backoff_s", Json.Num backoff_s) ]
+  | Done -> Json.Obj [ ("resp", Json.Str "done") ]
+  | Ack -> Json.Obj [ ("resp", Json.Str "ack") ]
+  | Error msg -> Json.Obj [ ("resp", Json.Str "error"); ("msg", Json.Str msg) ]
+
+let response_to_string r = Json.to_string (response_to_value r)
+
+let response_of_value v =
+  let* kind = Result.bind (field "resp" v) Json.to_str in
+  match kind with
+  | "welcome" ->
+      let* task = Result.bind (field "task" v) Task.of_value in
+      let* heartbeat_s = Result.bind (field "heartbeat_s" v) Json.to_num in
+      Ok (Welcome { task; heartbeat_s })
+  | "work" ->
+      let* batch = Result.bind (field "batch" v) Json.to_int in
+      let* configs =
+        match field "configs" v with
+        | Ok (Json.Arr items) -> collect Json.to_str items
+        | Ok _ -> Error "work: configs must be an array"
+        | Error _ as e -> e
+      in
+      Ok (Work { batch; configs })
+  | "idle" ->
+      let* backoff_s = Result.bind (field "backoff_s" v) Json.to_num in
+      Ok (Idle { backoff_s })
+  | "done" -> Ok Done
+  | "ack" -> Ok Ack
+  | "error" ->
+      let* msg = Result.bind (field "msg" v) Json.to_str in
+      Ok (Error msg)
+  | other -> Error (Printf.sprintf "unknown fleet response %S" other)
+
+let response_of_string s =
+  match Json.of_string s with
+  | Stdlib.Error e -> Stdlib.Error e
+  | Stdlib.Ok v -> response_of_value v
+
+(* Framing is the store daemon's, unchanged. *)
+let write_frame = Ft_store.Protocol.write_frame
+let read_frame = Ft_store.Protocol.read_frame
+let parse_addr = Ft_store.Protocol.parse_addr
+let string_of_sockaddr = Ft_store.Protocol.string_of_sockaddr

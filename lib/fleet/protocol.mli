@@ -1,0 +1,51 @@
+(** The fleet wire protocol: the tuning service's length-prefixed JSON
+    text frames ({!Ft_store.Protocol}), extended with the
+    claim/result/join/leave/heartbeat traffic between a coordinator
+    and its workers (DESIGN.md §14).
+
+    One request frame yields exactly one response frame; requests on
+    one connection are processed in order.  Config points travel as
+    {!Ft_schedule.Config_io} texts (exact round-trip), and cost-model
+    entries round-trip bit-for-bit: valid perfs via %.17g floats,
+    invalid perfs as their note alone, rebuilt through
+    {!Ft_hw.Perf.invalid} (JSON cannot carry their [infinity]
+    directly). *)
+
+(** One cost-model result: [(perf_value, perf)] exactly as
+    [Evaluator]'s compute produces it. *)
+type entry = float * Ft_hw.Perf.t
+
+type request =
+  | Join of { worker : string }
+      (** first frame on a worker connection; answered by [Welcome] *)
+  | Claim of { worker : string }
+      (** ask for a batch; answered by [Work], [Idle], or [Done] *)
+  | Result of { worker : string; batch : int; entries : entry list }
+      (** completed batch, entries in the batch's config order *)
+  | Heartbeat of { worker : string }  (** liveness while idle or busy *)
+  | Leave of { worker : string }  (** graceful exit; claims requeue *)
+
+type response =
+  | Welcome of { task : Task.t; heartbeat_s : float }
+      (** the shared task, and how often the coordinator expects to
+          hear from this worker before presuming it dead *)
+  | Work of { batch : int; configs : string list }
+  | Idle of { backoff_s : float }  (** nothing queued; retry after *)
+  | Done  (** the run is over; disconnect *)
+  | Ack
+  | Error of string
+
+val entry_to_value : entry -> Ft_store.Json.t
+val entry_of_value : Ft_store.Json.t -> (entry, string) result
+val request_to_string : request -> string
+val request_of_string : string -> (request, string) result
+val response_to_string : response -> string
+val response_of_string : string -> (response, string) result
+
+(** Framing and addressing, re-exported unchanged from
+    {!Ft_store.Protocol}. *)
+
+val write_frame : out_channel -> string -> unit
+val read_frame : in_channel -> (string, string) result
+val parse_addr : string -> (Unix.sockaddr, string) result
+val string_of_sockaddr : Unix.sockaddr -> string

@@ -1,0 +1,100 @@
+(* Deterministic discrete-event simulation of a fleet run, for `bench
+   fleet`: given real per-config measurement costs, how long would N
+   workers take to drain them, with lanes dying at a given rate?
+
+   The model mirrors the coordinator's scheduling: configs are
+   sharded into FIFO batches; each batch occupies one worker for the
+   sum of its configs' costs; a death strikes a (worker, batch)
+   assignment with probability [death_rate], at a uniformly drawn
+   point of the batch — the batch becomes claimable again only after
+   the heartbeat timeout detects the death, and a replacement worker
+   takes the dead one's place after [rejoin_s] (elastic rejoin).
+   Everything is driven by one seeded RNG, so a result is a pure
+   function of its arguments. *)
+
+type result = {
+  workers : int;
+  evals : int;  (* configs completed (each exactly once) *)
+  makespan_s : float;  (* simulated wall clock to drain the queue *)
+  throughput : float;  (* evals / makespan *)
+  deaths : int;
+  requeues : int;
+}
+
+let chunk_costs ~batch costs =
+  let n = Array.length costs in
+  let n_batches = (n + batch - 1) / batch in
+  Array.init n_batches (fun b ->
+      let lo = b * batch in
+      let hi = min n (lo + batch) in
+      let sum = ref 0. in
+      for i = lo to hi - 1 do
+        sum := !sum +. costs.(i)
+      done;
+      (hi - lo, !sum))
+
+let run ?(seed = 2020) ?(batch = 16) ?(death_rate = 0.) ?(heartbeat_s = 2.0)
+    ?(rejoin_s = 1.0) ~costs ~workers () =
+  if workers < 1 then invalid_arg "Sim.run: workers must be >= 1";
+  if batch < 1 then invalid_arg "Sim.run: batch must be >= 1";
+  if death_rate < 0. || death_rate >= 1. then
+    invalid_arg "Sim.run: death_rate must be in [0, 1)";
+  let rng = Ft_util.Rng.create seed in
+  let batches = chunk_costs ~batch costs in
+  (* ready.(b): earliest time batch b may be (re)claimed *)
+  let ready = Array.make (Array.length batches) 0. in
+  let pending = ref (Array.to_list (Array.init (Array.length batches) Fun.id)) in
+  let avail = Array.make workers 0. in
+  let deaths = ref 0 in
+  let requeues = ref 0 in
+  let makespan = ref 0. in
+  let evals = ref 0 in
+  while !pending <> [] do
+    (* the free-earliest worker takes the claimable-earliest batch,
+       FIFO among ties — the coordinator's oldest-queued-first rule *)
+    let w = ref 0 in
+    for i = 1 to workers - 1 do
+      if avail.(i) < avail.(!w) then w := i
+    done;
+    let b =
+      List.fold_left
+        (fun acc b ->
+          match acc with
+          | None -> Some b
+          | Some best ->
+              if
+                ready.(b) < ready.(best)
+                || (ready.(b) = ready.(best) && b < best)
+              then Some b
+              else acc)
+        None !pending
+      |> Option.get
+    in
+    let n_cfg, cost = batches.(b) in
+    let start = Float.max avail.(!w) ready.(b) in
+    if death_rate > 0. && Ft_util.Rng.float rng 1.0 < death_rate then begin
+      (* the lane dies partway through the batch: the coordinator
+         notices at the heartbeat timeout and requeues; a replacement
+         worker fills the slot after the rejoin delay *)
+      let death_t = start +. (Ft_util.Rng.float rng 1.0 *. cost) in
+      ready.(b) <- death_t +. heartbeat_s;
+      avail.(!w) <- death_t +. rejoin_s;
+      incr deaths;
+      incr requeues
+    end
+    else begin
+      let finish = start +. cost in
+      avail.(!w) <- finish;
+      makespan := Float.max !makespan finish;
+      evals := !evals + n_cfg;
+      pending := List.filter (fun x -> x <> b) !pending
+    end
+  done;
+  {
+    workers;
+    evals = !evals;
+    makespan_s = !makespan;
+    throughput = (if !makespan > 0. then float_of_int !evals /. !makespan else 0.);
+    deaths = !deaths;
+    requeues = !requeues;
+  }

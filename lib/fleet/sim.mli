@@ -1,0 +1,33 @@
+(** Deterministic discrete-event simulation of a fleet run (`bench
+    fleet`): drain a queue of per-config measurement costs with N
+    workers, under an injected per-batch lane-death rate, mirroring
+    the {!Coordinator}'s scheduling — FIFO batches, heartbeat-timeout
+    requeue, elastic rejoin.  A result is a pure function of the
+    arguments (one seeded RNG drives every draw). *)
+
+type result = {
+  workers : int;
+  evals : int;  (** configs completed (each exactly once) *)
+  makespan_s : float;  (** simulated wall clock to drain the queue *)
+  throughput : float;  (** [evals / makespan_s] *)
+  deaths : int;
+  requeues : int;
+}
+
+(** [run ~costs ~workers ()] simulates draining [costs] (one entry per
+    config, seconds).  [batch] (default 16) configs per batch;
+    [death_rate] (default 0) probability a claim's lane dies mid-batch
+    — the batch requeues after [heartbeat_s] (default 2) and a
+    replacement worker appears after [rejoin_s] (default 1).  Raises
+    [Invalid_argument] on [workers < 1], [batch < 1], or a death rate
+    outside [[0, 1)]. *)
+val run :
+  ?seed:int ->
+  ?batch:int ->
+  ?death_rate:float ->
+  ?heartbeat_s:float ->
+  ?rejoin_s:float ->
+  costs:float array ->
+  workers:int ->
+  unit ->
+  result

@@ -1,0 +1,148 @@
+(* The unit of work a fleet shares: which operator, on which target,
+   at which flops scale.  Workers receive a task at join time and
+   rebuild the schedule space locally — config texts on the wire then
+   parse against a space identical to the coordinator's, which is what
+   makes remote evaluation a pure re-computation of the local one. *)
+
+type t = {
+  op : string;  (* operator name, as the CLI spells it *)
+  dims : int list;
+  target : string;  (* CLI target key (or Target.name; see target_of) *)
+  flops_scale : float;
+}
+
+let make ?(flops_scale = 1.0) ~op ~dims ~target () =
+  { op; dims; target; flops_scale }
+
+(* CLI key <-> target value; the single table both bin/main.ml's
+   --target enum and the fleet wire format draw from. *)
+let targets =
+  [
+    ("v100", Ft_schedule.Target.v100);
+    ("p100", Ft_schedule.Target.p100);
+    ("titanx", Ft_schedule.Target.titan_x);
+    ("xeon", Ft_schedule.Target.xeon_e5_2699_v4);
+    ("vu9p", Ft_schedule.Target.vu9p);
+  ]
+
+let target_key target =
+  match
+    List.find_opt (fun (_, t) -> Ft_schedule.Target.name t = Ft_schedule.Target.name target) targets
+  with
+  | Some (key, _) -> key
+  | None -> Ft_schedule.Target.name target
+
+(* Accept both the CLI key ("titanx") and the canonical Target.name
+   ("TitanX"): tasks built from either spelling resolve the same. *)
+let target_of name =
+  match List.assoc_opt name targets with
+  | Some t -> Ok t
+  | None -> (
+      match
+        List.find_opt (fun (_, t) -> Ft_schedule.Target.name t = name) targets
+      with
+      | Some (_, t) -> Ok t
+      | None -> Error (Printf.sprintf "unknown target %S" name))
+
+(* Operator construction from a name and dims (formerly bin/main.ml's
+   private table; the CLI now goes through here so a worker given a
+   task builds exactly the graph `flextensor optimize OP DIMS` does). *)
+let graph_of ~op ~dims =
+  match (op, dims) with
+  | "gemv", [ m; k ] -> Ok (Ft_ir.Operators.gemv ~m ~k)
+  | "gemm", [ m; n; k ] -> Ok (Ft_ir.Operators.gemm ~m ~n ~k)
+  | "bilinear", [ m; n; k; l ] -> Ok (Ft_ir.Operators.bilinear ~m ~n ~k ~l)
+  | "conv1d", [ batch; in_channels; out_channels; length; kernel ] ->
+      Ok
+        (Ft_ir.Operators.conv1d ~batch ~in_channels ~out_channels ~length
+           ~kernel ~pad:(kernel / 2) ())
+  | "t1d", [ batch; in_channels; out_channels; length; kernel ] ->
+      Ok
+        (Ft_ir.Operators.conv1d_transposed ~batch ~in_channels ~out_channels
+           ~length ~kernel ~stride:2 ~pad:(kernel / 2) ())
+  | "conv2d", [ batch; in_channels; out_channels; height; width; kernel ] ->
+      Ok
+        (Ft_ir.Operators.conv2d ~batch ~in_channels ~out_channels ~height
+           ~width ~kernel ~pad:(kernel / 2) ())
+  | "conv2d", [ batch; in_channels; out_channels; height; width; kernel; stride ]
+    ->
+      Ok
+        (Ft_ir.Operators.conv2d ~batch ~in_channels ~out_channels ~height
+           ~width ~kernel ~stride ~pad:(kernel / 2) ())
+  | "t2d", [ batch; in_channels; out_channels; height; width; kernel ] ->
+      Ok
+        (Ft_ir.Operators.conv2d_transposed ~batch ~in_channels ~out_channels
+           ~height ~width ~kernel ~stride:2 ~pad:(kernel / 2) ())
+  | "conv3d", [ batch; in_channels; out_channels; depth; height; width; kernel ]
+    ->
+      Ok
+        (Ft_ir.Operators.conv3d ~batch ~in_channels ~out_channels ~depth
+           ~height ~width ~kernel ~pad:(kernel / 2) ())
+  | "grp", [ batch; in_channels; out_channels; height; width; kernel; groups ]
+    ->
+      Ok
+        (Ft_ir.Operators.group_conv2d ~batch ~in_channels ~out_channels
+           ~height ~width ~kernel ~pad:(kernel / 2) ~groups ())
+  | "dep", [ batch; channels; height; width; kernel ] ->
+      Ok
+        (Ft_ir.Operators.depthwise_conv2d ~batch ~channels ~height ~width
+           ~kernel ~pad:(kernel / 2) ())
+  | "dil", [ batch; in_channels; out_channels; height; width; kernel; dilation ]
+    ->
+      Ok
+        (Ft_ir.Operators.dilated_conv2d ~batch ~in_channels ~out_channels
+           ~height ~width ~kernel ~pad:dilation ~dilation ())
+  | "bcm", [ m; n; k; block ] -> Ok (Ft_ir.Operators.bcm ~m ~n ~k ~block)
+  | "shift", [ batch; channels; height; width ] ->
+      Ok (Ft_ir.Operators.shift ~batch ~channels ~height ~width)
+  | "yolo", [ index ] when index >= 1 && index <= 15 ->
+      Ok
+        (Ft_workloads.Yolo.graph
+           (Ft_workloads.Yolo.find (Printf.sprintf "C%d" index)))
+  | _ ->
+      Error
+        (Printf.sprintf
+           "unknown operator %s with %d dims; try e.g. `gemm 512 512 512`, \
+            `conv2d 1 64 128 56 56 3`, `yolo 7`"
+           op (List.length dims))
+
+let graph t = graph_of ~op:t.op ~dims:t.dims
+
+(* The space a worker evaluates against.  Built from scratch on each
+   end; [Space.make] is deterministic, so coordinator and worker agree
+   on every config key and cost-model result. *)
+let space t =
+  match graph t with
+  | Error _ as e -> e
+  | Ok g -> (
+      match target_of t.target with
+      | Error _ as e -> e
+      | Ok target -> Ok (Ft_schedule.Space.make g target))
+
+let to_value t =
+  Ft_store.Json.Obj
+    [
+      ("op", Ft_store.Json.Str t.op);
+      ("dims", Ft_store.Json.Arr (List.map (fun d -> Ft_store.Json.Num (float_of_int d)) t.dims));
+      ("target", Ft_store.Json.Str t.target);
+      ("flops_scale", Ft_store.Json.Num t.flops_scale);
+    ]
+
+let ( let* ) = Result.bind
+
+let field name v =
+  match Ft_store.Json.member name v with
+  | Some x -> Ok x
+  | None -> Error (Printf.sprintf "task: missing field %S" name)
+
+let of_value v =
+  let* op = Result.bind (field "op" v) Ft_store.Json.to_str in
+  let* dims = Result.bind (field "dims" v) Ft_store.Json.to_int_list in
+  let* target = Result.bind (field "target" v) Ft_store.Json.to_str in
+  let* flops_scale = Result.bind (field "flops_scale" v) Ft_store.Json.to_num in
+  Ok { op; dims; target; flops_scale }
+
+let describe t =
+  Printf.sprintf "%s %s on %s (flops_scale %g)" t.op
+    (String.concat "x" (List.map string_of_int t.dims))
+    t.target t.flops_scale

@@ -1,0 +1,43 @@
+(** The unit of work a tuning fleet shares: which operator, on which
+    target, at which flops scale.  A worker receives a task in the
+    coordinator's {!Protocol.Welcome} and rebuilds the schedule space
+    locally — [Space.make] is deterministic, so config texts on the
+    wire parse against a space identical to the coordinator's, and a
+    remote evaluation is a pure re-computation of the local one
+    (DESIGN.md §14). *)
+
+type t = {
+  op : string;  (** operator name, as the CLI spells it *)
+  dims : int list;
+  target : string;  (** CLI target key or canonical [Target.name] *)
+  flops_scale : float;
+}
+
+val make :
+  ?flops_scale:float -> op:string -> dims:int list -> target:string -> unit -> t
+
+(** CLI key <-> target table ([v100], [p100], [titanx], [xeon],
+    [vu9p]); the single source both [--target] and the wire format
+    draw from. *)
+val targets : (string * Ft_schedule.Target.t) list
+
+(** The CLI key for a target (falls back to [Target.name] off-table). *)
+val target_key : Ft_schedule.Target.t -> string
+
+(** Resolve a CLI key or a canonical [Target.name]. *)
+val target_of : string -> (Ft_schedule.Target.t, string) result
+
+(** Operator construction from a name and dims — the table behind
+    `flextensor optimize OP DIMS` (e.g. [gemm [512;512;512]]). *)
+val graph_of : op:string -> dims:int list -> (Ft_ir.Op.graph, string) result
+
+val graph : t -> (Ft_ir.Op.graph, string) result
+
+(** Build the task's schedule space (graph + target resolution). *)
+val space : t -> (Ft_schedule.Space.t, string) result
+
+val to_value : t -> Ft_store.Json.t
+val of_value : Ft_store.Json.t -> (t, string) result
+
+(** One-line human description for logs. *)
+val describe : t -> string

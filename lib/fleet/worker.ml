@@ -1,0 +1,141 @@
+(* A fleet worker: join a coordinator, pull batches, recompute the
+   cost model, report results — until the coordinator says Done.
+
+   The worker is stateless between batches: everything it needs (the
+   task, hence the space) arrives in the Welcome, so a worker may join
+   an already-running search, die, and be replaced freely.  Transport
+   failures reconnect with a bounded retry budget; any claim the dead
+   connection held is requeued by the coordinator's heartbeat
+   timeout. *)
+
+type conn = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let ignore_sigpipe =
+  lazy (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ())
+
+let connect addr_text =
+  Lazy.force ignore_sigpipe;
+  match Protocol.parse_addr addr_text with
+  | Error msg -> Error (Printf.sprintf "bad address %S: %s" addr_text msg)
+  | Ok addr -> (
+      let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+      match Unix.connect fd addr with
+      | () ->
+          Ok
+            {
+              fd;
+              ic = Unix.in_channel_of_descr fd;
+              oc = Unix.out_channel_of_descr fd;
+            }
+      | exception Unix.Unix_error (err, _, _) ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Error
+            (Printf.sprintf "connect %s: %s" addr_text (Unix.error_message err)))
+
+let close conn = try Unix.close conn.fd with Unix.Unix_error _ -> ()
+
+(* One request frame out, one response frame in.  Error means the
+   connection is unusable (a fleet worker reconnects rather than
+   resynchronizes, so no poisoning bookkeeping is needed here). *)
+let roundtrip conn request =
+  match
+    Protocol.write_frame conn.oc (Protocol.request_to_string request);
+    Protocol.read_frame conn.ic
+  with
+  | Error _ as e -> e
+  | Ok payload -> Protocol.response_of_string payload
+  | exception (Sys_error _ | Unix.Unix_error _) -> Error "connection lost"
+
+(* Recompute one batch exactly as the coordinator's evaluator would:
+   parse each config text against the shared space and query the cost
+   model.  An unparseable text (impossible when coordinator and worker
+   run the same build) degrades to an invalid entry rather than
+   crashing the worker. *)
+let compute_batch space ~flops_scale configs =
+  List.map
+    (fun text ->
+      match Ft_schedule.Config_io.of_string_for space text with
+      | Ok cfg ->
+          let perf = Ft_hw.Cost.evaluate ~flops_scale space cfg in
+          (Ft_hw.Cost.perf_value space perf, perf)
+      | Error msg -> (0., Ft_hw.Perf.invalid ("fleet: bad config: " ^ msg)))
+    configs
+
+type session_end =
+  | Finished  (* coordinator said Done *)
+  | Lost of string  (* transport failure: reconnect *)
+  | Fatal of string  (* protocol violation: give up *)
+
+(* One connection's lifetime: join, then claim/compute/report until
+   Done or the transport drops. *)
+let session ~name ~batches conn =
+  match roundtrip conn (Protocol.Join { worker = name }) with
+  | Ok (Protocol.Welcome { task; heartbeat_s = _ }) -> (
+      match Task.space task with
+      | Error msg ->
+          ignore (roundtrip conn (Protocol.Leave { worker = name }));
+          Fatal (Printf.sprintf "cannot build task space (%s)" msg)
+      | Ok space ->
+          let flops_scale = task.Task.flops_scale in
+          let rec loop () =
+            match roundtrip conn (Protocol.Claim { worker = name }) with
+            | Ok (Protocol.Work { batch; configs }) -> (
+                let entries = compute_batch space ~flops_scale configs in
+                match
+                  roundtrip conn
+                    (Protocol.Result { worker = name; batch; entries })
+                with
+                | Ok (Protocol.Ack | Protocol.Error _) ->
+                    (* an Error here means a stale duplicate the
+                       coordinator rejected — keep claiming *)
+                    incr batches;
+                    loop ()
+                | Ok Protocol.Done -> Finished
+                | Ok _ -> Fatal "unexpected response to result"
+                | Error msg -> Lost msg)
+            | Ok (Protocol.Idle { backoff_s }) -> (
+                Thread.delay (Float.max 0.01 backoff_s);
+                match roundtrip conn (Protocol.Heartbeat { worker = name }) with
+                | Ok (Protocol.Ack | Protocol.Error _) -> loop ()
+                | Ok Protocol.Done -> Finished
+                | Ok _ -> Fatal "unexpected response to heartbeat"
+                | Error msg -> Lost msg)
+            | Ok Protocol.Done -> Finished
+            | Ok (Protocol.Error msg) -> Fatal ("coordinator error: " ^ msg)
+            | Ok _ -> Fatal "unexpected response to claim"
+            | Error msg -> Lost msg
+          in
+          loop ())
+  | Ok (Protocol.Error msg) -> Fatal ("join rejected: " ^ msg)
+  | Ok _ -> Fatal "unexpected response to join"
+  | Error msg -> Lost msg
+
+let default_name () = Printf.sprintf "worker-%d" (Unix.getpid ())
+
+let run ?name ?(retries = 5) ?(retry_delay_s = 0.5) ~coordinator () =
+  let name = match name with Some n -> n | None -> default_name () in
+  let batches = ref 0 in
+  let rec attempt budget =
+    match connect coordinator with
+    | Error msg ->
+        if budget > 0 then begin
+          Thread.delay retry_delay_s;
+          attempt (budget - 1)
+        end
+        else Error msg
+    | Ok conn -> (
+        let ended =
+          Fun.protect ~finally:(fun () -> close conn) (fun () ->
+              session ~name ~batches conn)
+        in
+        match ended with
+        | Finished -> Ok !batches
+        | Fatal msg -> Error msg
+        | Lost msg ->
+            if budget > 0 then begin
+              Thread.delay retry_delay_s;
+              attempt (budget - 1)
+            end
+            else Error msg)
+  in
+  attempt (max 0 retries)

@@ -1,0 +1,23 @@
+(** A fleet worker (`flextensor worker --coordinator ADDR`): join a
+    {!Coordinator}, pull batches, recompute the cost model against the
+    task's locally rebuilt space, report results — until the
+    coordinator answers [Done].
+
+    Workers are stateless between batches, so they may join an
+    already-running search, die, and be replaced freely; a dead
+    worker's claims are requeued by the coordinator's heartbeat
+    timeout (DESIGN.md §14). *)
+
+(** [run ~coordinator ()] serves until the coordinator finishes.
+    Returns [Ok batches_completed], or [Error] after [retries]
+    (default 5) failed connects/reconnects spaced [retry_delay_s]
+    (default 0.5 s) apart, or on a protocol-level fatal (bad task,
+    rejected join).  [name] defaults to ["worker-<pid>"] and must be
+    unique within a fleet. *)
+val run :
+  ?name:string ->
+  ?retries:int ->
+  ?retry_delay_s:float ->
+  coordinator:string ->
+  unit ->
+  (int, string) result

@@ -1,6 +1,13 @@
 (* Synchronous request/response client over one socket.  All failures
    come back as [Error] strings: reuse paths treat a broken daemon as
-   a cache miss, never as a fatal error. *)
+   a cache miss, never as a fatal error.
+
+   A transport failure poisons the client: a half-written request or
+   half-read response leaves the byte stream desynchronized, so the
+   next roundtrip on this connection could parse the tail of the old
+   response — or garbage — as its own answer.  Once poisoned, every
+   later call fails fast with the original reason instead of returning
+   wrong data. *)
 
 type t = {
   addr : string;
@@ -10,6 +17,8 @@ type t = {
   (* one in-flight request per connection; callers may share a client
      across threads *)
   mutex : Mutex.t;
+  (* set on the first transport failure; never cleared (reconnect) *)
+  mutable poisoned : string option;
 }
 
 (* A peer hanging up between our write and their read raises SIGPIPE,
@@ -36,6 +45,7 @@ let connect addr_text =
               ic = Unix.in_channel_of_descr fd;
               oc = Unix.out_channel_of_descr fd;
               mutex = Mutex.create ();
+              poisoned = None;
             }
       | exception Unix.Unix_error (err, _, _) ->
           (try Unix.close fd with Unix.Unix_error _ -> ());
@@ -44,22 +54,51 @@ let connect addr_text =
 
 let address t = t.addr
 
+let poisoned t =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () -> t.poisoned)
+
 let close t =
   try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+(* Mark the connection unusable and report why.  Every subsequent
+   roundtrip fails fast with the same reason — the stream may hold a
+   partial frame, so "retry on the same socket" can only ever return
+   garbage parsed as a response. *)
+let poison t reason =
+  let msg =
+    Printf.sprintf "connection to %s poisoned (%s); reconnect to retry" t.addr
+      reason
+  in
+  t.poisoned <- Some msg;
+  Error msg
 
 let roundtrip t request =
   Mutex.lock t.mutex;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock t.mutex)
     (fun () ->
-      match
-        Protocol.write_frame t.oc (Protocol.request_to_string request);
-        Protocol.read_frame t.ic
-      with
-      | Error _ as e -> e
-      | Ok payload -> Protocol.response_of_string payload
-      | exception (Sys_error _ | Unix.Unix_error _) ->
-          Error (Printf.sprintf "connection to %s lost" t.addr))
+      match t.poisoned with
+      | Some msg -> Error msg
+      | None -> (
+          match
+            Protocol.write_frame t.oc (Protocol.request_to_string request);
+            Protocol.read_frame t.ic
+          with
+          | Error reason ->
+              (* EOF, a bad length prefix, or a truncated frame: the
+                 stream is desynchronized (or gone) — poison. *)
+              poison t reason
+          | Ok payload ->
+              (* A complete frame that fails to parse as a response is
+                 a protocol-level error, not a transport one: frame
+                 boundaries are intact, so the connection stays
+                 usable. *)
+              Protocol.response_of_string payload
+          | exception (Sys_error _ | Unix.Unix_error _) ->
+              poison t "transport failure"))
 
 let unexpected what = Error ("unexpected response to " ^ what)
 

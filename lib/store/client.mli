@@ -4,7 +4,19 @@
     Every call is synchronous — one request frame out, one response
     frame back — and returns [Error] rather than raising on transport
     or protocol failures, so a dead daemon degrades a warm start into
-    a cold search instead of failing it. *)
+    a cold search instead of failing it.
+
+    {b Poisoning contract.}  A transport failure (EOF, a socket error,
+    a bad length prefix, a truncated frame) leaves the byte stream
+    desynchronized: a later request on the same connection could parse
+    the tail of an old response — or garbage — as its own answer.  The
+    first such failure therefore {e poisons} the client: every
+    subsequent call on it fails fast with an [Error] naming the
+    original reason, without touching the socket.  Poisoning is
+    permanent for the connection; recover by {!close}-ing it and
+    {!connect}-ing a fresh client.  A {e complete} frame whose payload
+    merely fails to parse does not poison — frame boundaries are
+    intact, so the connection stays usable. *)
 
 type t
 
@@ -13,6 +25,10 @@ val connect : string -> (t, string) result
 
 (** The daemon's address as given to {!connect}. *)
 val address : t -> string
+
+(** [Some reason] once a transport failure has poisoned this client
+    (see the poisoning contract above); [None] while it is usable. *)
+val poisoned : t -> string option
 
 val close : t -> unit
 

@@ -6,6 +6,9 @@ type t = {
   repo : Shard.t;
   fd : Unix.file_descr;
   addr : Unix.sockaddr;
+  (* unix-socket path this process bound, if any: [stop] unlinks only
+     what it bound, never a path some other daemon owns *)
+  bound_unix : string option;
   mutable stopping : bool;
   stop_mutex : Mutex.t;
 }
@@ -17,6 +20,45 @@ type t = {
 let ignore_sigpipe =
   lazy (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ())
 
+(* Is some process accepting on the unix socket at [path]?  A connect
+   probe distinguishes a live daemon (connect succeeds) from the stale
+   socket file of a dead one (ECONNREFUSED).  Errors that leave the
+   answer unknown count as live: the caller must never unlink a socket
+   it cannot prove dead. *)
+let unix_socket_live path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      match Unix.connect fd (Unix.ADDR_UNIX path) with
+      | () -> true
+      | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) ->
+          false
+      | exception Unix.Unix_error _ -> true)
+
+(* Claim the unix-socket path for this process, or raise: refuse when
+   a live daemon answers on it (blindly removing would silently orphan
+   that daemon: its fd keeps serving existing connections but no new
+   client can ever reach it), unlink a provably stale socket, and
+   never touch a path that is not a socket at all. *)
+let claim_unix_path path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  | { Unix.st_kind = Unix.S_SOCK; _ } ->
+      if unix_socket_live path then
+        failwith
+          (Printf.sprintf
+             "serve: a daemon is already listening on unix:%s (stop it, or \
+              pick another socket path)"
+             path)
+      else (
+        (* stale socket of a dead daemon: safe to recycle *)
+        try Unix.unlink path with Unix.Unix_error (Unix.ENOENT, _, _) -> ())
+  | _ ->
+      failwith
+        (Printf.sprintf "serve: %s exists and is not a socket; refusing to \
+                         remove it" path)
+
 let create ?(backlog = 64) ~repo ~listen () =
   Lazy.force ignore_sigpipe;
   let addr =
@@ -26,21 +68,23 @@ let create ?(backlog = 64) ~repo ~listen () =
   in
   let domain = Unix.domain_of_sockaddr addr in
   let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
-  (try
-     (match addr with
-     | Unix.ADDR_INET _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true
-     | Unix.ADDR_UNIX path ->
-         (* a stale socket file from a dead daemon blocks bind *)
-         if Sys.file_exists path then Sys.remove path);
-     Unix.bind fd addr;
-     Unix.listen fd backlog
-   with e ->
-     Unix.close fd;
-     raise e);
+  let bound_unix =
+    try
+      (match addr with
+      | Unix.ADDR_INET _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true
+      | Unix.ADDR_UNIX path -> claim_unix_path path);
+      Unix.bind fd addr;
+      Unix.listen fd backlog;
+      match addr with Unix.ADDR_UNIX path -> Some path | _ -> None
+    with e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e
+  in
   {
     repo;
     fd;
     addr = Unix.getsockname fd;
+    bound_unix;
     stopping = false;
     stop_mutex = Mutex.create ();
   }
@@ -89,18 +133,57 @@ let connection repo fd =
       in
       try loop () with Sys_error _ | Unix.Unix_error _ -> ())
 
-let serve t =
+(* What the accept loop does with one [Unix.accept] failure.  Pure and
+   exposed so the policy is testable without provoking real EINTR /
+   fd-exhaustion storms:
+
+   - while stopping, every error means the listen fd was (or is being)
+     closed under us — exit cleanly;
+   - EINTR (a signal landed mid-accept) and ECONNABORTED (the peer
+     hung up between SYN and accept) are non-events — retry at once;
+   - EMFILE / ENFILE (fd exhaustion, usually transient: handler
+     threads are busy closing) must not end accepting forever — back
+     off briefly and retry;
+   - anything else is unexpected: keep the daemon alive, but log it
+     (never swallow) and pause so a persistent error cannot spin. *)
+type accept_decision = Stop | Retry | Backoff of float | Log_and_retry of float
+
+let accept_decision ~stopping (err : Unix.error) =
+  if stopping then Stop
+  else
+    match err with
+    | Unix.EINTR | Unix.ECONNABORTED -> Retry
+    | Unix.EMFILE | Unix.ENFILE -> Backoff 0.05
+    | _ -> Log_and_retry 0.05
+
+(* Generic accept loop shared with the fleet coordinator
+   (DESIGN.md §14): accept until [stopping ()], spawning one handler
+   thread per connection, surviving transient accept failures per
+   [accept_decision]. *)
+let accept_loop ~what ~stopping fd handler =
   let rec loop () =
-    match Unix.accept t.fd with
+    match Unix.accept fd with
     | client, _ ->
-        ignore (Thread.create (fun () -> connection t.repo client) ());
-        loop ()
-    | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL | Unix.ECONNABORTED), _, _)
-      when t.stopping ->
-        ()
-    | exception Unix.Unix_error (Unix.ECONNABORTED, _, _) -> loop ()
+        ignore (Thread.create handler client);
+        if stopping () then () else loop ()
+    | exception Unix.Unix_error (err, _, _) -> (
+        match accept_decision ~stopping:(stopping ()) err with
+        | Stop -> ()
+        | Retry -> loop ()
+        | Backoff delay ->
+            Thread.delay delay;
+            loop ()
+        | Log_and_retry delay ->
+            Printf.eprintf "%s: accept failed: %s; still accepting\n%!" what
+              (Unix.error_message err);
+            Thread.delay delay;
+            loop ())
   in
   loop ()
+
+let serve t =
+  accept_loop ~what:"flextensor serve" ~stopping:(fun () -> t.stopping) t.fd
+    (fun client -> connection t.repo client)
 
 let start t = Thread.create (fun () -> serve t) ()
 
@@ -111,8 +194,16 @@ let stop t =
     (fun () ->
       if not t.stopping then begin
         t.stopping <- true;
-        (try Unix.close t.fd with Unix.Unix_error _ -> ());
-        match t.addr with
-        | Unix.ADDR_UNIX path when Sys.file_exists path -> Sys.remove path
-        | _ -> ()
+        (* Unlink exactly the path this process bound, and do it while
+           the fd is still open: as long as we hold the bind no other
+           daemon can have claimed the path (its connect probe finds
+           us live), so the name still refers to our socket — no
+           check-then-remove window.  The old code stat'd then
+           [Sys.remove]d after close, which could take out a newer
+           daemon's freshly bound socket. *)
+        (match t.bound_unix with
+        | Some path -> (
+            try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+        | None -> ());
+        try Unix.close t.fd with Unix.Unix_error _ -> ()
       end)

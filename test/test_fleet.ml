@@ -1,0 +1,557 @@
+(* The distributed tuning fleet: wire-protocol roundtrips (including
+   invalid perfs, whose [infinity] JSON cannot carry directly), the
+   task codec and operator table, the coordinator's queue bookkeeping
+   — heartbeat-timeout requeue, work stealing, elastic join —
+   exercised through its exposed [handle], a coordinator + real
+   [Worker.run] end-to-end over sockets, the bit-for-bit contract
+   (optimize through a fleet dispatch equals the in-process pool at
+   1/2/4 workers), and the deterministic scaling simulation behind
+   `bench fleet`. *)
+
+open Ft_fleet
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let target = Ft_schedule.Target.v100
+let small_task = Task.make ~op:"gemm" ~dims:[ 64; 64; 64 ] ~target:"v100" ()
+
+let space_of task =
+  match Task.space task with Ok s -> s | Error e -> Alcotest.fail e
+
+(* A wave of (config, key) pairs exactly as [Evaluator.prepare] hands
+   them to its dispatch hook. *)
+let wave ?(seed = 2020) space n =
+  let rng = Ft_util.Rng.create seed in
+  List.init n (fun _ ->
+      let cfg = Ft_schedule.Space.random_config rng space in
+      (cfg, Ft_schedule.Config.key cfg))
+
+(* The entries the in-process path would produce for a wave — the
+   reference every fleet path must match bit-for-bit. *)
+let expected_entries task keyed =
+  let space = space_of task in
+  List.map
+    (fun (cfg, _) ->
+      let perf =
+        Ft_hw.Cost.evaluate ~flops_scale:task.Task.flops_scale space cfg
+      in
+      (Ft_hw.Cost.perf_value space perf, perf))
+    keyed
+
+(* What a worker computes from the serialized configs of one batch. *)
+let compute_configs task configs =
+  let space = space_of task in
+  List.map
+    (fun text ->
+      match Ft_schedule.Config_io.of_string_for space text with
+      | Ok cfg ->
+          let perf =
+            Ft_hw.Cost.evaluate ~flops_scale:task.Task.flops_scale space cfg
+          in
+          (Ft_hw.Cost.perf_value space perf, perf)
+      | Error e -> Alcotest.fail e)
+    configs
+
+let bits_equal a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let entry_equal (v1, p1) (v2, p2) =
+  bits_equal v1 v2
+  && p1.Ft_hw.Perf.valid = p2.Ft_hw.Perf.valid
+  && String.equal p1.note p2.note
+  && bits_equal p1.time_s p2.time_s
+  && bits_equal p1.gflops p2.gflops
+
+let check_entries what expected got =
+  check_int (what ^ ": one entry per point") (List.length expected)
+    (List.length got);
+  List.iteri
+    (fun i (e, g) ->
+      check_bool (Printf.sprintf "%s: entry %d bit-for-bit" what i) true
+        (entry_equal e g))
+    (List.combine expected got)
+
+(* --- wire protocol --- *)
+
+(* %.17g roundtrips any finite double exactly; generate mantissa *
+   2^exp so extremes are covered without ever drawing nan. *)
+let gen_finite =
+  QCheck.Gen.map
+    (fun (mant, exp) -> Float.ldexp mant (exp - 30))
+    QCheck.Gen.(pair (float_bound_inclusive 1.) (int_range 0 60))
+
+let gen_perf =
+  let open QCheck.Gen in
+  let str = string_size (int_range 0 24) in
+  oneof
+    [ map Ft_hw.Perf.invalid str;
+      map
+        (fun ((time_s, gflops), note) ->
+          { Ft_hw.Perf.time_s; gflops; valid = true; note })
+        (pair (pair gen_finite gen_finite) str) ]
+
+let gen_entry = QCheck.Gen.pair gen_finite gen_perf
+
+let gen_task =
+  let open QCheck.Gen in
+  let str = string_size (int_range 0 12) in
+  map
+    (fun ((op, tgt), (dims, flops_scale)) ->
+      Task.make ~flops_scale ~op ~dims ~target:tgt ())
+    (pair (pair str str)
+       (pair (list_size (int_range 0 6) (int_range 1 4096)) gen_finite))
+
+let gen_request =
+  let open QCheck.Gen in
+  let worker = string_size (int_range 0 12) in
+  oneof
+    [ map (fun worker -> Protocol.Join { worker }) worker;
+      map (fun worker -> Protocol.Claim { worker }) worker;
+      map
+        (fun ((worker, batch), entries) ->
+          Protocol.Result { worker; batch; entries })
+        (pair (pair worker nat) (list_size (int_range 0 6) gen_entry));
+      map (fun worker -> Protocol.Heartbeat { worker }) worker;
+      map (fun worker -> Protocol.Leave { worker }) worker ]
+
+let gen_response =
+  let open QCheck.Gen in
+  oneof
+    [ map
+        (fun (task, heartbeat_s) -> Protocol.Welcome { task; heartbeat_s })
+        (pair gen_task gen_finite);
+      map
+        (fun (batch, configs) -> Protocol.Work { batch; configs })
+        (pair nat (list_size (int_range 0 5) (string_size (int_range 0 30))));
+      map (fun backoff_s -> Protocol.Idle { backoff_s }) gen_finite;
+      return Protocol.Done;
+      return Protocol.Ack;
+      map (fun m -> Protocol.Error m) (string_size (int_range 0 30)) ]
+
+(* Perf.t holds infinity for invalid entries; structural (=) is safe
+   because the generators never draw nan. *)
+let qcheck_request_roundtrip =
+  QCheck.Test.make ~name:"every fleet request roundtrips the wire" ~count:300
+    (QCheck.make gen_request) (fun req ->
+      match Protocol.request_of_string (Protocol.request_to_string req) with
+      | Ok parsed -> parsed = req
+      | Error _ -> false)
+
+let qcheck_response_roundtrip =
+  QCheck.Test.make ~name:"every fleet response roundtrips the wire" ~count:300
+    (QCheck.make gen_response) (fun resp ->
+      match Protocol.response_of_string (Protocol.response_to_string resp) with
+      | Ok parsed -> parsed = resp
+      | Error _ -> false)
+
+let qcheck_entry_roundtrip =
+  QCheck.Test.make ~name:"entries roundtrip bit-for-bit (incl. invalid)"
+    ~count:300 (QCheck.make gen_entry) (fun entry ->
+      match Protocol.entry_of_value (Protocol.entry_to_value entry) with
+      | Ok parsed -> entry_equal entry parsed
+      | Error _ -> false)
+
+let test_protocol_rejects_garbage () =
+  List.iter
+    (fun text ->
+      check_bool ("request rejects " ^ text) true
+        (Result.is_error (Protocol.request_of_string text));
+      check_bool ("response rejects " ^ text) true
+        (Result.is_error (Protocol.response_of_string text)))
+    [ ""; "not json"; "{}"; "{\"req\":\"no-such\"}"; "[1]" ]
+
+(* --- the shared task --- *)
+
+let qcheck_task_roundtrip =
+  QCheck.Test.make ~name:"tasks roundtrip the wire" ~count:300
+    (QCheck.make gen_task) (fun task ->
+      match Task.of_value (Task.to_value task) with
+      | Ok parsed ->
+          parsed.Task.op = task.Task.op
+          && parsed.dims = task.dims
+          && parsed.target = task.target
+          && bits_equal parsed.flops_scale task.flops_scale
+      | Error _ -> false)
+
+let test_target_table () =
+  List.iter
+    (fun (key, tgt) ->
+      (match Task.target_of key with
+      | Ok t ->
+          check_bool ("CLI key resolves: " ^ key) true
+            (Ft_schedule.Target.name t = Ft_schedule.Target.name tgt)
+      | Error e -> Alcotest.fail e);
+      (* target_key is the inverse of target_of on the table *)
+      match Task.target_of (Task.target_key tgt) with
+      | Ok t ->
+          check_bool ("target_key roundtrips: " ^ key) true
+            (Ft_schedule.Target.name t = Ft_schedule.Target.name tgt)
+      | Error e -> Alcotest.fail e)
+    Task.targets;
+  check_bool "unknown target rejected" true
+    (Result.is_error (Task.target_of "no-such-accelerator"))
+
+let test_operator_table () =
+  check_bool "gemm builds" true
+    (Result.is_ok (Task.graph_of ~op:"gemm" ~dims:[ 64; 64; 64 ]));
+  check_bool "conv2d builds" true
+    (Result.is_ok (Task.graph_of ~op:"conv2d" ~dims:[ 1; 8; 16; 14; 14; 3 ]));
+  check_bool "unknown op rejected" true
+    (Result.is_error (Task.graph_of ~op:"no-such-op" ~dims:[ 1 ]));
+  check_bool "wrong arity rejected" true
+    (Result.is_error (Task.graph_of ~op:"gemm" ~dims:[ 64 ]));
+  check_bool "task space builds" true (Result.is_ok (Task.space small_task));
+  check_bool "bad task has no space" true
+    (Result.is_error
+       (Task.space (Task.make ~op:"gemm" ~dims:[] ~target:"v100" ())))
+
+(* --- coordinator bookkeeping via [handle] --- *)
+
+let with_coordinator ?batch_size ?heartbeat_s ?steal_after_s ?grace_s
+    ?local_fallback f =
+  let c =
+    Coordinator.create ?batch_size ?heartbeat_s ?steal_after_s ?grace_s
+      ?local_fallback ~task:small_task ~listen:"127.0.0.1:0" ()
+  in
+  Fun.protect ~finally:(fun () -> Coordinator.stop c) (fun () -> f c)
+
+let rec claim_until_work c worker deadline =
+  match Coordinator.handle c (Protocol.Claim { worker }) with
+  | Protocol.Work { batch; configs } -> (batch, configs)
+  | Protocol.Idle _ ->
+      if Unix.gettimeofday () > deadline then
+        Alcotest.fail ("no work offered to " ^ worker)
+      else begin
+        Thread.delay 0.005;
+        claim_until_work c worker deadline
+      end
+  | _ -> Alcotest.fail "unexpected response to claim"
+
+let deadline () = Unix.gettimeofday () +. 10.
+
+let test_handle_membership () =
+  with_coordinator (fun c ->
+      (match Coordinator.handle c (Protocol.Join { worker = "w1" }) with
+      | Protocol.Welcome { task; heartbeat_s } ->
+          check_bool "welcome carries the task" true (task = small_task);
+          check_bool "welcome carries the liveness interval" true
+            (heartbeat_s > 0.)
+      | _ -> Alcotest.fail "expected Welcome");
+      (match Coordinator.handle c (Protocol.Claim { worker = "w1" }) with
+      | Protocol.Idle { backoff_s } ->
+          check_bool "idle suggests a backoff" true (backoff_s > 0.)
+      | _ -> Alcotest.fail "expected Idle with nothing queued");
+      (match Coordinator.handle c (Protocol.Heartbeat { worker = "w1" }) with
+      | Protocol.Ack -> ()
+      | _ -> Alcotest.fail "expected Ack for a heartbeat");
+      (match
+         Coordinator.handle c
+           (Protocol.Result { worker = "w1"; batch = 999; entries = [] })
+       with
+      | Protocol.Ack -> ()
+      | _ -> Alcotest.fail "a late result for a gone batch must be Ack'd");
+      (match Coordinator.handle c (Protocol.Leave { worker = "w1" }) with
+      | Protocol.Ack -> ()
+      | _ -> Alcotest.fail "expected Ack for a leave");
+      check_int "one worker seen" 1 (Coordinator.stats c).workers_seen)
+
+(* No workers at all: after the grace period dispatch computes every
+   batch itself, and the result is the in-process reference. *)
+let test_local_fallback () =
+  with_coordinator ~batch_size:8 ~grace_s:0. (fun c ->
+      let keyed = wave (space_of small_task) 20 in
+      let got = Coordinator.dispatch c keyed in
+      check_entries "local fallback" (expected_entries small_task keyed) got;
+      let stats = Coordinator.stats c in
+      check_int "all batches local" 3 stats.Coordinator.local_batches;
+      check_int "no remote batches" 0 stats.remote_batches)
+
+(* A worker that claims a batch and goes silent: after two missed
+   heartbeats its claim requeues and the run still completes. *)
+let test_dead_worker_requeues () =
+  with_coordinator ~batch_size:8 ~heartbeat_s:0.05 ~steal_after_s:60.
+    ~grace_s:60. (fun c ->
+      let keyed = wave (space_of small_task) 24 in
+      let result = ref [] in
+      let t = Thread.create (fun () -> result := Coordinator.dispatch c keyed) () in
+      (match Coordinator.handle c (Protocol.Join { worker = "zombie" }) with
+      | Protocol.Welcome _ -> ()
+      | _ -> Alcotest.fail "expected Welcome");
+      let _work = claim_until_work c "zombie" (deadline ()) in
+      (* ... and never answer: the sweep must declare the worker dead,
+         requeue its claim, and let the local fallback finish *)
+      Thread.join t;
+      check_entries "after requeue" (expected_entries small_task keyed) !result;
+      let stats = Coordinator.stats c in
+      check_bool "the dead worker's claim requeued" true
+        (stats.Coordinator.requeues >= 1);
+      check_bool "local fallback finished the wave" true
+        (stats.local_batches >= 1))
+
+(* A straggler's batch is re-issued to a faster worker after
+   [steal_after_s]; the straggler's late duplicate is absorbed. *)
+let test_straggler_steal () =
+  with_coordinator ~batch_size:16 ~heartbeat_s:30. ~steal_after_s:0.05
+    ~local_fallback:false (fun c ->
+      let keyed = wave (space_of small_task) 8 in
+      let result = ref [] in
+      let t = Thread.create (fun () -> result := Coordinator.dispatch c keyed) () in
+      ignore (Coordinator.handle c (Protocol.Join { worker = "slow" }));
+      ignore (Coordinator.handle c (Protocol.Join { worker = "fast" }));
+      let slow_batch, _ = claim_until_work c "slow" (deadline ()) in
+      Thread.delay 0.1;
+      (* past steal_after_s: the same batch goes to the faster worker *)
+      let fast_batch, fast_configs = claim_until_work c "fast" (deadline ()) in
+      check_int "the straggler's batch was re-issued" slow_batch fast_batch;
+      let entries = compute_configs small_task fast_configs in
+      (match
+         Coordinator.handle c
+           (Protocol.Result { worker = "fast"; batch = fast_batch; entries })
+       with
+      | Protocol.Ack -> ()
+      | _ -> Alcotest.fail "expected Ack for the stolen batch's result");
+      Thread.join t;
+      (* the straggler finally answers: absorbed, not an error *)
+      (match
+         Coordinator.handle c
+           (Protocol.Result { worker = "slow"; batch = slow_batch; entries })
+       with
+      | Protocol.Ack -> ()
+      | _ -> Alcotest.fail "a late duplicate result must be Ack'd");
+      check_entries "stolen batch" (expected_entries small_task keyed) !result;
+      let stats = Coordinator.stats c in
+      check_int "one steal" 1 stats.Coordinator.steals;
+      check_int "no local compute" 0 stats.local_batches)
+
+(* With the local fallback off, a worker joining mid-run is the only
+   way forward — elastic membership must carry the whole wave. *)
+let test_elastic_join_completes () =
+  with_coordinator ~batch_size:4 ~local_fallback:false (fun c ->
+      let keyed = wave (space_of small_task) 12 in
+      let result = ref [] in
+      let t = Thread.create (fun () -> result := Coordinator.dispatch c keyed) () in
+      Thread.delay 0.05;
+      (* nobody home: the wave must still be fully queued *)
+      ignore (Coordinator.handle c (Protocol.Join { worker = "late" }));
+      let completed = ref 0 in
+      while !completed < 3 do
+        let batch, configs = claim_until_work c "late" (deadline ()) in
+        let entries = compute_configs small_task configs in
+        match
+          Coordinator.handle c
+            (Protocol.Result { worker = "late"; batch; entries })
+        with
+        | Protocol.Ack -> incr completed
+        | Protocol.Error e -> Alcotest.fail e
+        | _ -> Alcotest.fail "unexpected response to a result"
+      done;
+      Thread.join t;
+      check_entries "elastic join" (expected_entries small_task keyed) !result;
+      let stats = Coordinator.stats c in
+      check_int "all batches remote" 3 stats.Coordinator.remote_batches;
+      check_int "no local compute with fallback off" 0 stats.local_batches)
+
+(* A result with the wrong entry count is a protocol error — and the
+   batch stays claimable rather than completing corrupted. *)
+let test_short_result_rejected () =
+  with_coordinator ~batch_size:4 ~local_fallback:false (fun c ->
+      let keyed = wave (space_of small_task) 4 in
+      let result = ref [] in
+      let t = Thread.create (fun () -> result := Coordinator.dispatch c keyed) () in
+      ignore (Coordinator.handle c (Protocol.Join { worker = "w" }));
+      let batch, configs = claim_until_work c "w" (deadline ()) in
+      (match
+         Coordinator.handle c
+           (Protocol.Result { worker = "w"; batch; entries = [] })
+       with
+      | Protocol.Error _ -> ()
+      | _ -> Alcotest.fail "a short result must be rejected");
+      let entries = compute_configs small_task configs in
+      (match
+         Coordinator.handle c (Protocol.Result { worker = "w"; batch; entries })
+       with
+      | Protocol.Ack -> ()
+      | _ -> Alcotest.fail "the full result must complete the batch");
+      Thread.join t;
+      check_entries "after rejection" (expected_entries small_task keyed)
+        !result)
+
+(* --- coordinator + real workers over sockets --- *)
+
+let test_socket_fleet_end_to_end () =
+  let c =
+    Coordinator.create ~batch_size:16 ~local_fallback:false ~task:small_task
+      ~listen:"127.0.0.1:0" ()
+  in
+  let _serve = Coordinator.start c in
+  let addr = Coordinator.address c in
+  let outcomes = Array.make 2 (Stdlib.Error "never ran") in
+  let workers =
+    List.init 2 (fun i ->
+        Thread.create
+          (fun () ->
+            outcomes.(i) <-
+              Worker.run
+                ~name:(Printf.sprintf "sock-worker-%d" i)
+                ~coordinator:addr ())
+          ())
+  in
+  let keyed = wave (space_of small_task) 48 in
+  let got = Coordinator.dispatch c keyed in
+  Coordinator.stop c;
+  List.iter Thread.join workers;
+  check_entries "socket fleet" (expected_entries small_task keyed) got;
+  let batches =
+    Array.fold_left
+      (fun acc outcome ->
+        match outcome with
+        | Stdlib.Ok n -> acc + n
+        | Stdlib.Error e -> Alcotest.fail ("worker failed: " ^ e))
+      0 outcomes
+  in
+  check_int "workers computed every batch" 3 batches;
+  let stats = Coordinator.stats c in
+  check_int "all batches remote" 3 stats.Coordinator.remote_batches;
+  check_int "both workers joined" 2 stats.workers_seen
+
+(* --- the bit-for-bit contract --- *)
+
+let gemm_graph = Ft_ir.Operators.gemm ~m:64 ~n:64 ~k:64
+
+let optimize_with ?dispatch seed =
+  let options = { Flextensor.default_options with n_trials = 8; seed } in
+  Flextensor.optimize ~options ?dispatch gemm_graph target
+
+(* On a rate-0 fault plan (the default), `optimize` through a fleet of
+   N workers must be byte-identical to the in-process pool: same
+   config, same value bits, same simulated clock. *)
+let qcheck_fleet_bit_for_bit =
+  QCheck.Test.make ~name:"optimize over a fleet == in-process (1/2/4 workers)"
+    ~count:2
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let baseline = optimize_with seed in
+      List.for_all
+        (fun n_workers ->
+          let c =
+            Coordinator.create ~local_fallback:false ~task:small_task
+              ~listen:"127.0.0.1:0" ()
+          in
+          let _serve = Coordinator.start c in
+          let addr = Coordinator.address c in
+          let workers =
+            List.init n_workers (fun i ->
+                Thread.create
+                  (fun () ->
+                    ignore
+                      (Worker.run
+                         ~name:(Printf.sprintf "bfb-%d-%d" n_workers i)
+                         ~coordinator:addr ()))
+                  ())
+          in
+          let fleet = optimize_with ~dispatch:(Coordinator.dispatch c) seed in
+          Coordinator.stop c;
+          List.iter Thread.join workers;
+          Ft_schedule.Config.equal fleet.Flextensor.config
+            baseline.Flextensor.config
+          && bits_equal fleet.perf_value baseline.perf_value
+          && bits_equal fleet.sim_time_s baseline.sim_time_s
+          && fleet.n_evals = baseline.n_evals)
+        [ 1; 2; 4 ])
+
+(* --- the scaling simulation --- *)
+
+let test_sim_deterministic () =
+  let costs = Array.init 200 (fun i -> 0.05 +. (0.001 *. float_of_int i)) in
+  let run () =
+    Sim.run ~seed:7 ~batch:16 ~death_rate:0.2 ~costs ~workers:4 ()
+  in
+  check_bool "same arguments, same result" true (run () = run ())
+
+let test_sim_exact_zero_death () =
+  let costs = Array.make 64 0.5 in
+  let one = Sim.run ~batch:16 ~costs ~workers:1 () in
+  let two = Sim.run ~batch:16 ~costs ~workers:2 () in
+  check_int "every config evaluated once" 64 one.Sim.evals;
+  check_int "no deaths at rate 0" 0 one.deaths;
+  check_int "no requeues at rate 0" 0 one.requeues;
+  Alcotest.(check (float 1e-9)) "1 worker drains serially" 32. one.makespan_s;
+  Alcotest.(check (float 1e-9)) "2 workers halve an even queue" 16.
+    two.Sim.makespan_s
+
+let test_sim_death_requeues () =
+  let costs = Array.make 128 0.1 in
+  let calm = Sim.run ~batch:16 ~costs ~workers:4 () in
+  let stormy = Sim.run ~batch:16 ~death_rate:0.4 ~costs ~workers:4 () in
+  check_bool "deaths occur at rate 0.4" true (stormy.Sim.deaths > 0);
+  check_int "every death requeues its batch" stormy.deaths stormy.requeues;
+  check_int "no config is lost to a death" 128 stormy.evals;
+  check_bool "deaths cost makespan" true
+    (stormy.makespan_s > calm.Sim.makespan_s)
+
+(* The CI gate's shape: 4 workers at a 10% lane-death rate still beat
+   twice the single-worker throughput. *)
+let test_sim_scaling_gate () =
+  let costs = Array.make 256 0.1 in
+  let r1 = Sim.run ~death_rate:0.1 ~costs ~workers:1 () in
+  let r4 = Sim.run ~death_rate:0.1 ~costs ~workers:4 () in
+  check_bool "4 workers >= 2x one worker" true
+    (r4.Sim.throughput >= 2. *. r1.Sim.throughput)
+
+let test_sim_rejects_bad_arguments () =
+  let costs = Array.make 8 0.1 in
+  List.iter
+    (fun (what, f) ->
+      match f () with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail ("expected Invalid_argument for " ^ what))
+    [ ("workers < 1", fun () -> Sim.run ~costs ~workers:0 ());
+      ("batch < 1", fun () -> Sim.run ~batch:0 ~costs ~workers:1 ());
+      ("death_rate = 1", fun () -> Sim.run ~death_rate:1. ~costs ~workers:1 ());
+      ("death_rate < 0", fun () -> Sim.run ~death_rate:(-0.1) ~costs ~workers:1 ()) ]
+
+let () =
+  Alcotest.run "ft_fleet"
+    [
+      ( "protocol",
+        [
+          QCheck_alcotest.to_alcotest qcheck_request_roundtrip;
+          QCheck_alcotest.to_alcotest qcheck_response_roundtrip;
+          QCheck_alcotest.to_alcotest qcheck_entry_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick
+            test_protocol_rejects_garbage;
+        ] );
+      ( "task",
+        [
+          QCheck_alcotest.to_alcotest qcheck_task_roundtrip;
+          Alcotest.test_case "target table" `Quick test_target_table;
+          Alcotest.test_case "operator table" `Quick test_operator_table;
+        ] );
+      ( "coordinator",
+        [
+          Alcotest.test_case "membership" `Quick test_handle_membership;
+          Alcotest.test_case "local fallback" `Quick test_local_fallback;
+          Alcotest.test_case "dead worker requeues" `Quick
+            test_dead_worker_requeues;
+          Alcotest.test_case "straggler steal" `Quick test_straggler_steal;
+          Alcotest.test_case "elastic join" `Quick test_elastic_join_completes;
+          Alcotest.test_case "short result rejected" `Quick
+            test_short_result_rejected;
+        ] );
+      ( "fleet",
+        [
+          Alcotest.test_case "sockets end-to-end" `Quick
+            test_socket_fleet_end_to_end;
+          QCheck_alcotest.to_alcotest qcheck_fleet_bit_for_bit;
+        ] );
+      ( "sim",
+        [
+          Alcotest.test_case "deterministic" `Quick test_sim_deterministic;
+          Alcotest.test_case "exact at zero death" `Quick
+            test_sim_exact_zero_death;
+          Alcotest.test_case "death requeues" `Quick test_sim_death_requeues;
+          Alcotest.test_case "scaling gate" `Quick test_sim_scaling_gate;
+          Alcotest.test_case "rejects bad arguments" `Quick
+            test_sim_rejects_bad_arguments;
+        ] );
+    ]

@@ -511,6 +511,208 @@ let test_concurrent_clients () =
       check_int "no request failed" 0 (Atomic.get failures);
       check_int "every append indexed" (n_clients * per_client) (Shard.count repo))
 
+(* --- satellite regression: the accept loop's failure policy --- *)
+
+(* Pure decision table, testable without provoking real EINTR or fd
+   storms: the old loop matched only EINTR while running, so a stray
+   ECONNABORTED killed the accept thread and EMFILE ended accepting
+   forever. *)
+let test_accept_decision_policy () =
+  let check_decision what expected err =
+    check_bool what true (Server.accept_decision ~stopping:false err = expected)
+  in
+  check_decision "EINTR retries immediately" Server.Retry Unix.EINTR;
+  check_decision "ECONNABORTED retries immediately" Server.Retry
+    Unix.ECONNABORTED;
+  (match Server.accept_decision ~stopping:false Unix.EMFILE with
+  | Server.Backoff s -> check_bool "EMFILE backs off, does not spin" true (s > 0.)
+  | _ -> Alcotest.fail "EMFILE must back off, not die");
+  (match Server.accept_decision ~stopping:false Unix.ENFILE with
+  | Server.Backoff s -> check_bool "ENFILE backs off" true (s > 0.)
+  | _ -> Alcotest.fail "ENFILE must back off, not die");
+  (match Server.accept_decision ~stopping:false Unix.ENOMEM with
+  | Server.Log_and_retry s ->
+      check_bool "unexpected errors pause before retrying" true (s > 0.)
+  | _ -> Alcotest.fail "unexpected errors must be logged and survived");
+  (* while stopping, every accept failure (EBADF from the closed
+     listen fd included) just ends the loop *)
+  List.iter
+    (fun err ->
+      check_bool "stopping always stops" true
+        (Server.accept_decision ~stopping:true err = Server.Stop))
+    [ Unix.EBADF; Unix.EINTR; Unix.EMFILE; Unix.ENOMEM ]
+
+(* A burst of connections that immediately drop must leave the accept
+   loop alive for a well-behaved client afterwards. *)
+let test_accept_survives_connection_burst () =
+  with_server (fun _repo addr ->
+      let sockaddr = Result.get_ok (Protocol.parse_addr addr) in
+      for _ = 1 to 50 do
+        let fd =
+          Unix.socket (Unix.domain_of_sockaddr sockaddr) Unix.SOCK_STREAM 0
+        in
+        Unix.connect fd sockaddr;
+        Unix.close fd
+      done;
+      with_client addr (fun client ->
+          match Client.ping client with
+          | Ok () -> ()
+          | Error e -> Alcotest.fail ("accept loop died after burst: " ^ e)))
+
+(* --- satellite regression: client poisoning after transport loss --- *)
+
+(* A fake daemon scripted frame-by-frame, to desync and to garble at
+   will. *)
+let with_scripted_server script f =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen fd 4;
+  let port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, port) -> port
+    | _ -> assert false
+  in
+  let server =
+    Thread.create
+      (fun () ->
+        let client, _ = Unix.accept fd in
+        let ic = Unix.in_channel_of_descr client
+        and oc = Unix.out_channel_of_descr client in
+        (try script ic oc with _ -> ());
+        (try Unix.close client with Unix.Unix_error _ -> ()))
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Thread.join server;
+      Unix.close fd)
+    (fun () -> f (Printf.sprintf "127.0.0.1:%d" port))
+
+(* A truncated frame (transport died mid-response) leaves the stream
+   desynced: the client must poison itself — every later call fails
+   fast instead of reading garbage as a response to the wrong
+   request. *)
+let test_client_poisoned_after_truncated_frame () =
+  with_scripted_server
+    (fun ic oc ->
+      ignore (Protocol.read_frame ic);
+      (* promise 100 bytes, deliver 3, vanish *)
+      output_string oc "100\nabc";
+      flush oc)
+    (fun addr ->
+      with_client addr (fun client ->
+          check_bool "not poisoned at connect" true
+            (Client.poisoned client = None);
+          (match Client.ping client with
+          | Ok () -> Alcotest.fail "a truncated frame cannot be a pong"
+          | Error _ -> ());
+          (match Client.poisoned client with
+          | Some _ -> ()
+          | None -> Alcotest.fail "transport failure must poison the client");
+          match Client.ping client with
+          | Ok () -> Alcotest.fail "a poisoned client must not roundtrip"
+          | Error msg ->
+              check_bool "later calls fail fast, naming the poisoning" true
+                (let lowered = String.lowercase_ascii msg in
+                 let needle = "poisoned" in
+                 let n = String.length lowered and m = String.length needle in
+                 let rec scan i =
+                   i + m <= n && (String.sub lowered i m = needle || scan (i + 1))
+                 in
+                 scan 0)))
+
+(* A complete-but-unparseable frame is NOT a transport failure: frame
+   boundaries held, so the connection stays usable. *)
+let test_client_survives_garbage_frame () =
+  with_scripted_server
+    (fun ic oc ->
+      ignore (Protocol.read_frame ic);
+      Protocol.write_frame oc "this is not json";
+      ignore (Protocol.read_frame ic);
+      Protocol.write_frame oc (Protocol.response_to_string Protocol.Pong))
+    (fun addr ->
+      with_client addr (fun client ->
+          (match Client.ping client with
+          | Ok () -> Alcotest.fail "garbage cannot be a pong"
+          | Error _ -> ());
+          check_bool "garbage in one frame does not poison" true
+            (Client.poisoned client = None);
+          match Client.ping client with
+          | Ok () -> ()
+          | Error e -> Alcotest.fail ("connection should have survived: " ^ e)))
+
+(* --- satellite regression: unix-socket claiming --- *)
+
+(* A second daemon pointed at a live daemon's socket must refuse —
+   the old behaviour silently unlinked the path, orphaning the first
+   daemon (still accepting, but unreachable forever). *)
+let test_second_daemon_refuses_live_socket () =
+  let dir = temp_dir () in
+  let sock = Filename.temp_file "ft_svc_live" ".sock" in
+  Sys.remove sock;
+  Fun.protect
+    ~finally:(fun () ->
+      rm_rf dir;
+      if Sys.file_exists sock then Sys.remove sock)
+    (fun () ->
+      let repo = Shard.open_dir dir in
+      let first = Server.create ~repo ~listen:("unix:" ^ sock) () in
+      let _t = Server.start first in
+      Fun.protect
+        ~finally:(fun () -> Server.stop first)
+        (fun () ->
+          check_bool "the socket shows as live" true (Server.unix_socket_live sock);
+          (match Server.create ~repo ~listen:("unix:" ^ sock) () with
+          | exception Failure _ -> ()
+          | second ->
+              Server.stop second;
+              Alcotest.fail "a second daemon must refuse a live socket");
+          (* the refusal must not have disturbed the first daemon *)
+          with_client ("unix:" ^ sock) (fun client ->
+              match Client.ping client with
+              | Ok () -> ()
+              | Error e -> Alcotest.fail ("first daemon harmed: " ^ e))))
+
+(* A stale socket file — its daemon died without unlinking — is
+   provably dead (connect refused) and must be recycled. *)
+let test_stale_socket_recycled () =
+  let dir = temp_dir () in
+  let sock = Filename.temp_file "ft_svc_stale" ".sock" in
+  Sys.remove sock;
+  Fun.protect
+    ~finally:(fun () ->
+      rm_rf dir;
+      if Sys.file_exists sock then Sys.remove sock)
+    (fun () ->
+      (* leave a bound-but-dead socket file behind, as a crash would *)
+      let dead = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind dead (Unix.ADDR_UNIX sock);
+      Unix.close dead;
+      check_bool "a dead socket shows as stale" false
+        (Server.unix_socket_live sock);
+      let repo = Shard.open_dir dir in
+      let server = Server.create ~repo ~listen:("unix:" ^ sock) () in
+      let _t = Server.start server in
+      Fun.protect
+        ~finally:(fun () -> Server.stop server)
+        (fun () ->
+          with_client ("unix:" ^ sock) (fun client ->
+              match Client.ping client with
+              | Ok () -> ()
+              | Error e -> Alcotest.fail e)))
+
+(* A path that exists but is not a socket is never touched. *)
+let test_non_socket_path_never_touched () =
+  let path = Filename.temp_file "ft_svc_notasock" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      (match Server.claim_unix_path path with
+      | exception Failure _ -> ()
+      | () -> Alcotest.fail "claiming a non-socket path must refuse");
+      check_bool "the file survives the refusal" true (Sys.file_exists path))
+
 (* --- optimize against the daemon --- *)
 
 let search_with ?remote ?(reuse = false) graph =
@@ -620,6 +822,28 @@ let () =
             test_server_survives_malformed_request;
           Alcotest.test_case "concurrent clients" `Quick test_concurrent_clients;
           Alcotest.test_case "unix socket" `Quick test_unix_socket_transport;
+        ] );
+      ( "accept loop",
+        [
+          Alcotest.test_case "failure policy" `Quick test_accept_decision_policy;
+          Alcotest.test_case "survives a connection burst" `Quick
+            test_accept_survives_connection_burst;
+        ] );
+      ( "client poisoning",
+        [
+          Alcotest.test_case "truncated frame poisons" `Quick
+            test_client_poisoned_after_truncated_frame;
+          Alcotest.test_case "garbage frame does not" `Quick
+            test_client_survives_garbage_frame;
+        ] );
+      ( "socket claiming",
+        [
+          Alcotest.test_case "live socket refused" `Quick
+            test_second_daemon_refuses_live_socket;
+          Alcotest.test_case "stale socket recycled" `Quick
+            test_stale_socket_recycled;
+          Alcotest.test_case "non-socket never touched" `Quick
+            test_non_socket_path_never_touched;
         ] );
       ( "remote reuse",
         [
