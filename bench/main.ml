@@ -23,6 +23,7 @@ let experiments =
     ("faults", Faults.run);
     ("store", Store_bench.run);
     ("fleet", Fleet_bench.run);
+    ("model", Model_bench.run);
   ]
 
 let () =

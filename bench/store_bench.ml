@@ -44,6 +44,7 @@ let record_of i =
     sim_time_s = 1.0;
     n_evals = 10;
     config = "s=1,1,16,2;1,1,32,1 r=4,1,8 o=0 u=3 f=1 v=0 i=1 p=0";
+    source = "analytical";
   }
 
 let time_ns_per f reps =

@@ -190,6 +190,15 @@ let resume_arg =
                seed).  The resumed search's final best is always at \
                least the checkpointed best.")
 
+let measure_arg =
+  Arg.(value & flag & info [ "measure" ]
+         ~doc:"After the search finishes, compile the winning schedule \
+               to a native loop nest, time it on this host (warmup + \
+               median of repetitions), and report the measured GFLOPS \
+               next to the model's prediction.  Measurement never \
+               perturbs the search: seeded runs stay bit-for-bit \
+               identical with or without this flag.")
+
 let log_arg =
   Arg.(value & opt (some string) None & info [ "log" ] ~docv:"FILE"
          ~doc:"Append the finished search to the JSONL tuning log $(docv) \
@@ -261,7 +270,7 @@ let space_cmd =
 
 let optimize_cmd =
   let run op dims target seed trials search jobs n_parallel trace log reuse
-      faults checkpoint resume fleet fleet_listen fleet_grace =
+      faults checkpoint resume fleet fleet_listen fleet_grace measure =
     with_graph op dims (fun graph ->
         set_jobs jobs;
         set_trace trace;
@@ -367,6 +376,12 @@ let optimize_cmd =
           { Flextensor.default_options with seed; n_trials = trials; search;
             n_parallel; faults; checkpoint; resume }
         in
+        let measurer =
+          if not measure then None
+          else
+            let space = Flextensor.Space.make graph target in
+            Some (fun cfg -> Flextensor.Measure.run space cfg)
+        in
         (* The search loop itself is silent about resuming; surface the
            checkpoint it will pick up (same run identity, newest wins)
            so a resumed run is visibly a resumed run. *)
@@ -407,7 +422,7 @@ let optimize_cmd =
                   ("trials", Int trials) ]
               (fun () ->
                 Flextensor.optimize ~options ?store ?remote ~reuse ?dispatch
-                  graph target)
+                  ?measurer graph target)
           with Flextensor.Fault.Injected_crash trial ->
             finish_fleet ();
             finish_trace ();
@@ -451,7 +466,7 @@ let optimize_cmd =
     Term.(const run $ op_arg $ dims_arg $ target_arg $ seed_arg $ trials_arg
           $ method_arg $ jobs_arg $ n_parallel_arg $ trace_arg $ log_arg
           $ reuse_arg $ faults_arg $ checkpoint_arg $ resume_arg $ fleet_arg
-          $ fleet_listen_arg $ fleet_grace_arg)
+          $ fleet_listen_arg $ fleet_grace_arg $ measure_arg)
 
 (* `schedule replay`: reapply a tuning-log entry without searching and
    check that the recomputed value equals the logged best bit-for-bit

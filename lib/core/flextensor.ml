@@ -17,6 +17,8 @@ module Perf = Ft_hw.Perf
 module Lowering = Ft_lower.Lowering
 module Pretty = Ft_lower.Pretty
 module Verify = Ft_lower.Verify
+module Compile = Ft_lower.Compile
+module Measure = Ft_lower.Measure
 module Driver = Ft_explore.Driver
 module Pool = Ft_par.Pool
 module Trace = Ft_obs.Trace
@@ -101,6 +103,9 @@ type report = {
   primitives : Primitive.t list;
   perf : Perf.t;
   perf_value : float;
+  measured : Perf.t option;
+      (* host measurement of [config] ([Perf.Measured] provenance);
+         never compared against [perf_value], which stays analytical *)
   n_evals : int;
   sim_time_s : float;
   history : Driver.sample list;
@@ -182,8 +187,8 @@ let run_search (m : Method.t) options ?dispatch ~transfer space =
           List.fold_left (fun acc (r : Driver.result) -> acc +. r.sim_time_s) 0. runs;
       }
 
-let make_report graph target space ~provenance ~config ~perf ~perf_value
-    ~n_evals ~sim_time_s ~history =
+let make_report ?measured graph target space ~provenance ~config ~perf
+    ~perf_value ~n_evals ~sim_time_s ~history =
   {
     graph;
     target;
@@ -194,6 +199,7 @@ let make_report graph target space ~provenance ~config ~perf ~perf_value
     primitives = Primitive.of_config space config;
     perf;
     perf_value;
+    measured;
     n_evals;
     sim_time_s;
     history;
@@ -209,6 +215,7 @@ let record_of_result space method_name seed (result : Driver.result) =
     sim_time_s = result.sim_time_s;
     n_evals = result.n_evals;
     config = Config_io.to_string result.best_config;
+    source = Ft_hw.Perf.provenance_to_string result.best_perf.Ft_hw.Perf.source;
   }
 
 (* The repository — local log and/or remote daemon — is consulted
@@ -222,9 +229,17 @@ let record_of_result space method_name seed (result : Driver.result) =
    daemon, transport error) degrades into a miss: reuse may fall back
    to a cold search, it never fails one. *)
 let optimize ?(options = default_options) ?store ?remote ?(reuse = false)
-    ?dispatch graph target =
+    ?dispatch ?measurer graph target =
   let graph = Op.validate_exn graph in
   let space = Space.make graph target in
+  (* Measurement happens strictly after the winner is known — on every
+     path, including reuse hits — and only for valid schedules, so the
+     search itself is untouched by [measurer]. *)
+  let measure cfg (perf : Perf.t) =
+    match measurer with
+    | Some f when perf.Perf.valid -> Some (f cfg)
+    | _ -> None
+  in
   let m = Method.find_exn options.search in
   let method_name = m.Method.name in
   let key = Store_record.key_of_space space in
@@ -260,7 +275,8 @@ let optimize ?(options = default_options) ?store ?remote ?(reuse = false)
   match exact_hit with
   | Some cfg ->
       let perf = Ft_hw.Cost.evaluate ~flops_scale:options.flops_scale space cfg in
-      make_report graph target space ~provenance:Reused ~config:cfg ~perf
+      make_report ?measured:(measure cfg perf) graph target space
+        ~provenance:Reused ~config:cfg ~perf
         ~perf_value:(Ft_hw.Cost.perf_value space perf) ~n_evals:0 ~sim_time_s:0.
         ~history:[]
   | None ->
@@ -283,7 +299,20 @@ let optimize ?(options = default_options) ?store ?remote ?(reuse = false)
               | None -> [])
       in
       let result = run_search m options ?dispatch ~transfer space in
+      let measured = measure result.best_config result.best_perf in
       let record = record_of_result space method_name options.seed result in
+      (* [best_value] is always the analytical search objective (replay
+         must reproduce it exactly); a measurement only annotates the
+         record's provenance. *)
+      let record =
+        match measured with
+        | Some (m : Perf.t) when m.Perf.valid ->
+            {
+              record with
+              Store_record.source = Ft_hw.Perf.provenance_to_string m.Perf.source;
+            }
+        | _ -> record
+      in
       (match store with Some s -> Store.add s record | None -> ());
       (match remote with
       | Some client -> (
@@ -295,10 +324,10 @@ let optimize ?(options = default_options) ?store ?remote ?(reuse = false)
         | [] -> Searched
         | seeds -> Transferred (List.length seeds)
       in
-      make_report graph target space ~provenance ~config:result.best_config
-        ~perf:result.best_perf ~perf_value:result.best_value
-        ~n_evals:result.n_evals ~sim_time_s:result.sim_time_s
-        ~history:result.history
+      make_report ?measured graph target space ~provenance
+        ~config:result.best_config ~perf:result.best_perf
+        ~perf_value:result.best_value ~n_evals:result.n_evals
+        ~sim_time_s:result.sim_time_s ~history:result.history
 
 (* Reapply a serialized schedule without searching or measuring:
    validate it against the freshly built space and query the cost
@@ -332,7 +361,15 @@ let generated_code report =
 let verify ?seed ?tol report = Verify.check ?seed ?tol report.space report.config
 
 let report_summary report =
+  let measured_suffix =
+    match report.measured with
+    | Some m when m.Perf.valid ->
+        Format.asprintf "\nmeasured: %a vs %.1f GFLOPS predicted" Perf.pp m
+          report.perf.Perf.gflops
+    | Some m -> Format.asprintf "\nmeasured: %a" Perf.pp m
+    | None -> ""
+  in
   Format.asprintf
-    "%s on %s: %a (space %.2e, %d evaluations, %.0f simulated seconds)"
+    "%s on %s: %a (space %.2e, %d evaluations, %.0f simulated seconds)%s"
     report.graph.Op.graph_name (Target.name report.target) Perf.pp report.perf
-    report.space_size report.n_evals report.sim_time_s
+    report.space_size report.n_evals report.sim_time_s measured_suffix

@@ -27,6 +27,15 @@ module Perf = Ft_hw.Perf
 module Lowering = Ft_lower.Lowering
 module Pretty = Ft_lower.Pretty
 module Verify = Ft_lower.Verify
+
+(** Staged compilation of lowered loop nests into closures over flat
+    Bigarray buffers ({!Ft_lower.Compile}) — the measurement backend;
+    bit-for-bit equal to the {!Ft_lower.Exec} reference. *)
+module Compile = Ft_lower.Compile
+
+(** Wall-clock measurement of scheduled configs via {!Compile}
+    ({!Ft_lower.Measure}); results carry [Measured] provenance. *)
+module Measure = Ft_lower.Measure
 module Driver = Ft_explore.Driver
 
 (** Domain pool used for batched candidate evaluation; size it with
@@ -179,6 +188,11 @@ type report = {
   primitives : Primitive.t list;
   perf : Perf.t;
   perf_value : float;  (** GFLOPS (or GB/s for zero-FLOP operators) *)
+  measured : Perf.t option;
+      (** host measurement of [config] through the compiled executor
+          ([Measured] provenance) when {!optimize} ran with a
+          [measurer]; informational only — [perf_value] and the tuning
+          log's best stay analytical *)
   n_evals : int;
   sim_time_s : float;  (** simulated exploration time *)
   history : Driver.sample list;
@@ -205,13 +219,21 @@ type report = {
     [dispatch] routes batched fresh evaluations to an external backend
     (a {!Fleet_coordinator}'s [dispatch]); by the {!Evaluator.dispatch}
     contract the report is bit-for-bit what the in-process pool
-    produces. *)
+    produces.
+
+    [measurer] (an {!Evaluator.measurer}, e.g.
+    [Measure.run space]) times the winning config on the host after
+    the search completes and stores the result in the report's
+    [measured] field; the search trajectory, the analytical best, and
+    a logged record's [best_value] are unchanged — only the record's
+    [source] notes the measurement. *)
 val optimize :
   ?options:options ->
   ?store:Store.t ->
   ?remote:Store_client.t ->
   ?reuse:bool ->
   ?dispatch:Evaluator.dispatch ->
+  ?measurer:Evaluator.measurer ->
   Op.graph ->
   Target.t ->
   report

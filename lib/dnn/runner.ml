@@ -81,6 +81,9 @@ let optimize_layer ?(seed = 2020) ?(max_evals = 250) ?store optimizer target
               sim_time_s = result.sim_time_s;
               n_evals = result.n_evals;
               config = Ft_schedule.Config_io.to_string result.best_config;
+              source =
+                Ft_hw.Perf.provenance_to_string
+                  result.best_perf.Ft_hw.Perf.source;
             })
         store;
       (result.best_perf.Ft_hw.Perf.time_s, false)

@@ -31,6 +31,13 @@ let resilience ?(max_retries = 2) ?(backoff_s = 0.05) ?(noisy_repeats = 3)
 type dispatch =
   (Ft_schedule.Config.t * string) list -> (float * Ft_hw.Perf.t) list
 
+(* A hardware measurement hook (mirrors [dispatch]'s shape: the hook
+   changes where a number comes from, never the search that produced
+   the config).  Measurers run strictly after a search finishes — on
+   its winning config — so seeded analytical searches stay bit-for-bit
+   reproducible; the returned perf must be tagged [Measured]. *)
+type measurer = Ft_schedule.Config.t -> Ft_hw.Perf.t
+
 type t = {
   space : Ft_schedule.Space.t;
   flops_scale : float;

@@ -52,6 +52,14 @@ val default_mode : Ft_schedule.Target.t -> mode
 type dispatch =
   (Ft_schedule.Config.t * string) list -> (float * Ft_hw.Perf.t) list
 
+(** A hardware measurement hook, mirroring {!dispatch}'s
+    shape-changes-nothing contract: it runs strictly {e after} a
+    search finishes, on the winning config only, and must return a
+    perf tagged {!Ft_hw.Perf.Measured}.  Because no measurement ever
+    feeds back into evaluation, caching, or the RNG, a measured run's
+    search trajectory is bit-for-bit the analytical one. *)
+type measurer = Ft_schedule.Config.t -> Ft_hw.Perf.t
+
 (** [create space] builds an evaluator.  [n_parallel] (default 1) is
     the number of simulated measurement devices the clock assumes;
     [pool] is the domain pool used for batched evaluation (default:

@@ -37,6 +37,8 @@ let entry_to_value ((value, perf) : entry) =
         ("gflops", Json.Num perf.Ft_hw.Perf.gflops);
         ("valid", Json.Bool true);
         ("note", Json.Str perf.Ft_hw.Perf.note);
+        ( "source",
+          Json.Str (Ft_hw.Perf.provenance_to_string perf.Ft_hw.Perf.source) );
       ]
   else
     Json.Obj
@@ -65,7 +67,17 @@ let entry_of_value v : (entry, string) result =
   else
     let* time_s = Result.bind (field "time_s" v) Json.to_num in
     let* gflops = Result.bind (field "gflops" v) Json.to_num in
-    Ok (value, { Ft_hw.Perf.time_s; gflops; valid = true; note })
+    (* Provenance: absent (pre-provenance peers) or unparsable means
+       analytical — never silently promote to measured. *)
+    let source =
+      match Json.member "source" v with
+      | Some (Json.Str s) -> (
+          match Ft_hw.Perf.provenance_of_string s with
+          | Some p -> p
+          | None -> Ft_hw.Perf.Analytical)
+      | _ -> Ft_hw.Perf.Analytical
+    in
+    Ok (value, { Ft_hw.Perf.time_s; gflops; valid = true; note; source })
 
 let request_to_value = function
   | Join { worker } ->

@@ -105,3 +105,4 @@ let evaluate ?(flops_scale = 1.0) (spec : Target.cpu_spec) (space : Space.t)
     ~note:
       (Printf.sprintf "par=%d simd=%.2f %s" parallelism simd
          (if compute_time >= mem_time then "compute-bound" else "memory-bound"))
+    ()

@@ -138,3 +138,4 @@ let evaluate ?(flops_scale = 1.0) (spec : Target.gpu_spec) (space : Space.t)
           ~note:
             (Printf.sprintf "occ=%.2f eff=%.2f %s" occupancy efficiency
                (if compute_time >= mem_time then "compute-bound" else "memory-bound"))
+          ()

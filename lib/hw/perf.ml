@@ -1,13 +1,23 @@
+type provenance = Analytical | Measured of { reps : int; min_ns : float }
+
 type t = {
   time_s : float;
   gflops : float;
   valid : bool;
   note : string;
+  source : provenance;
 }
 
-let invalid note = { time_s = Float.infinity; gflops = 0.; valid = false; note }
+let invalid note =
+  {
+    time_s = Float.infinity;
+    gflops = 0.;
+    valid = false;
+    note;
+    source = Analytical;
+  }
 
-let make ~flops ~time_s ~note =
+let make ?(source = Analytical) ~flops ~time_s ~note () =
   if time_s <= 0. then invalid "non-positive time"
   else
     {
@@ -15,10 +25,42 @@ let make ~flops ~time_s ~note =
       gflops = float_of_int flops /. time_s /. 1e9;
       valid = true;
       note;
+      source;
     }
+
+let measured ~flops ~time_s ~reps ~min_ns ~note =
+  make ~source:(Measured { reps; min_ns }) ~flops ~time_s ~note ()
+
+let is_measured t = match t.source with Measured _ -> true | Analytical -> false
+
+let provenance_to_string = function
+  | Analytical -> "analytical"
+  | Measured { reps; min_ns } ->
+      Printf.sprintf "measured reps=%d min_ns=%.0f" reps min_ns
+
+let provenance_of_string s =
+  match String.split_on_char ' ' (String.trim s) with
+  | [ "analytical" ] | [ "" ] -> Some Analytical
+  | "measured" :: rest ->
+      let lookup key =
+        List.find_map
+          (fun kv ->
+            match String.split_on_char '=' kv with
+            | [ k; v ] when String.equal k key -> Some v
+            | _ -> None)
+          rest
+      in
+      let reps = Option.bind (lookup "reps") int_of_string_opt in
+      let min_ns = Option.bind (lookup "min_ns") float_of_string_opt in
+      Option.bind reps (fun reps ->
+          Option.map (fun min_ns -> Measured { reps; min_ns }) min_ns)
+  | _ -> None
 
 let pp fmt t =
   if t.valid then
-    Format.fprintf fmt "%.3f ms, %.1f GFLOPS%s" (t.time_s *. 1e3) t.gflops
+    Format.fprintf fmt "%.3f ms, %.1f GFLOPS%s%s" (t.time_s *. 1e3) t.gflops
+      (match t.source with
+      | Analytical -> ""
+      | Measured { reps; _ } -> Printf.sprintf " [measured, %d reps]" reps)
       (if String.equal t.note "" then "" else " (" ^ t.note ^ ")")
   else Format.fprintf fmt "invalid: %s" t.note

@@ -1,12 +1,43 @@
-(** Result of one performance-model query. *)
+(** Result of one performance query, tagged with where the number came
+    from.
+
+    Provenance keeps measured and simulated results from mixing
+    silently: every [t] records whether its time was predicted by an
+    analytical model ([Analytical], the default everywhere the search
+    runs) or timed on the host ([Measured], carrying the repetition
+    count and the fastest single rep).  Searches compare values of one
+    provenance only; measured numbers annotate a finished result, they
+    never feed back into a seeded analytical search. *)
+
+type provenance =
+  | Analytical
+  | Measured of { reps : int; min_ns : float }
+      (** [reps] timed repetitions after warmup; [time_s] is their
+          median, [min_ns] the fastest single rep in nanoseconds. *)
 
 type t = {
-  time_s : float;  (** predicted kernel time; [infinity] when invalid *)
+  time_s : float;  (** kernel time; [infinity] when invalid *)
   gflops : float;  (** throughput on the operator's true FLOP count *)
   valid : bool;  (** false when the schedule violates a hard resource limit *)
   note : string;
+  source : provenance;
 }
 
+(** Invalid results are always [Analytical] — a measurement that ran
+    produced a time; one that failed raises instead. *)
 val invalid : string -> t
-val make : flops:int -> time_s:float -> note:string -> t
+
+val make : ?source:provenance -> flops:int -> time_s:float -> note:string -> unit -> t
+
+val measured :
+  flops:int -> time_s:float -> reps:int -> min_ns:float -> note:string -> t
+
+val is_measured : t -> bool
+
+(** Round-trippable encoding for stores and wire protocols:
+    ["analytical"] or ["measured reps=R min_ns=N"]. *)
+val provenance_to_string : provenance -> string
+
+val provenance_of_string : string -> provenance option
+
 val pp : Format.formatter -> t -> unit

@@ -1,4 +1,11 @@
-type buffer = { shape : int list; data : float array }
+(* Buffers are flat float64 Bigarrays (ft_linalg conventions): one
+   unboxed allocation per tensor, shared zero-copy between the
+   reference interpreter, the tree-walking executor and the compiled
+   executor.  Keep the [vec] type annotations on every Bigarray access
+   — generic (boxed) bigarray access is ~15-50x slower. *)
+
+type vec = Ft_linalg.Linalg.vec
+type buffer = { shape : int list; data : vec }
 
 type t = (string, buffer) Hashtbl.t
 
@@ -7,7 +14,7 @@ let create () = Hashtbl.create 16
 let numel shape = List.fold_left ( * ) 1 shape
 
 let alloc env name shape =
-  let buffer = { shape; data = Array.make (numel shape) 0. } in
+  let buffer = { shape; data = Ft_linalg.Linalg.vec (numel shape) } in
   Hashtbl.replace env name buffer;
   buffer
 
@@ -16,7 +23,9 @@ let set env name shape data =
     invalid_arg
       (Printf.sprintf "Buffer_env.set: %s expects %d elements, got %d" name
          (numel shape) (Array.length data));
-  Hashtbl.replace env name { shape; data }
+  Hashtbl.replace env name { shape; data = Ft_linalg.Linalg.vec_of_array data }
+
+let to_array buffer = Ft_linalg.Linalg.vec_to_array buffer.data
 
 let find env name =
   match Hashtbl.find_opt env name with
@@ -46,16 +55,19 @@ let flat_index name shape indices =
 
 let get env name indices =
   let buffer = find env name in
-  buffer.data.(flat_index name buffer.shape indices)
+  let data : vec = buffer.data in
+  Bigarray.Array1.get data (flat_index name buffer.shape indices)
 
 let put env name indices value =
   let buffer = find env name in
-  buffer.data.(flat_index name buffer.shape indices) <- value
+  let data : vec = buffer.data in
+  Bigarray.Array1.set data (flat_index name buffer.shape indices) value
 
 let fill_random rng env name shape =
   let buffer = alloc env name shape in
-  for i = 0 to Array.length buffer.data - 1 do
-    buffer.data.(i) <- Ft_util.Rng.float rng 2.0 -. 1.0
+  let data : vec = buffer.data in
+  for i = 0 to Bigarray.Array1.dim data - 1 do
+    Bigarray.Array1.set data i (Ft_util.Rng.float rng 2.0 -. 1.0)
   done
 
 let max_abs_diff a b =

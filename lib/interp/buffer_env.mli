@@ -1,6 +1,12 @@
-(** Named float buffers backing tensor execution. *)
+(** Named tensor buffers backing execution.
 
-type buffer = { shape : int list; data : float array }
+    Storage is flat float64 [Bigarray] with C layout (the [ft_linalg]
+    conventions): one unboxed allocation per tensor, shared zero-copy
+    between the reference interpreter, the tree-walking [Exec] and the
+    compiled executor ({!Ft_lower.Compile}). *)
+
+type vec = Ft_linalg.Linalg.vec
+type buffer = { shape : int list; data : vec }
 type t
 
 val create : unit -> t
@@ -9,10 +15,16 @@ val numel : int list -> int
 (** Allocate a zero-filled tensor, replacing any previous binding. *)
 val alloc : t -> string -> int list -> buffer
 
-(** Bind existing data; raises when sizes disagree. *)
+(** Bind data (copied into a fresh flat buffer); raises when sizes
+    disagree. *)
 val set : t -> string -> int list -> float array -> unit
 
+(** Copy a buffer's contents out as a float array. *)
+val to_array : buffer -> float array
+
+(** Raises [Invalid_argument] naming the tensor when unbound. *)
 val find : t -> string -> buffer
+
 val find_opt : t -> string -> buffer option
 
 (** Bounds-checked multi-index read/write. *)

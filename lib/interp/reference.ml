@@ -36,9 +36,10 @@ let run_op env (op : Op.t) =
       done;
       !total
   in
+  let out : Buffer_env.vec = buffer.Buffer_env.data in
   let rec spatial_loop bindings level flat =
     if level >= Array.length spatial then
-      buffer.Buffer_env.data.(flat) <- reduce_loop bindings 0 op.init
+      Bigarray.Array1.set out flat (reduce_loop bindings 0 op.init)
     else
       let axis = spatial.(level) in
       for i = 0 to axis.extent - 1 do
@@ -54,7 +55,7 @@ let run_op env (op : Op.t) =
 
 let run_graph env graph =
   List.iter (run_op env) graph.Op.ops;
-  (Buffer_env.find env graph.output).Buffer_env.data
+  Buffer_env.to_array (Buffer_env.find env graph.output)
 
 let random_env rng graph =
   let env = Buffer_env.create () in

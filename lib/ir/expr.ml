@@ -90,6 +90,113 @@ let rec flops_of_texpr = function
   | Add (a, b) | Sub (a, b) | Mul (a, b) -> 1 + flops_of_texpr a + flops_of_texpr b
   | Select (_, a, b) -> flops_of_texpr a + flops_of_texpr b
 
+(* -- Affine (stride) analysis ---------------------------------------
+
+   An index expression is affine when it can be written
+   [base + sum_i stride_i * var_i].  Lowered multi-indices almost
+   always are: [axis_index] builds pure add/mul-by-constant chains, and
+   the div/mod forms (BCM, shift) have constant operands after an
+   unrolled loop substitutes its counter.  The compiled executor
+   (Ft_lower.Compile) linearizes every affine access into one flat
+   [base + sum stride.var] address computation; non-affine indices fall
+   back to tree evaluation. *)
+
+type affine = { base : int; terms : (string * int) list }
+
+let affine_const base = { base; terms = [] }
+
+(* Terms stay sorted by variable name with zero coefficients dropped,
+   so structurally equal forms are [=]-equal. *)
+let rec merge_terms a b =
+  match (a, b) with
+  | [], t | t, [] -> t
+  | ((va, ca) as ha) :: ta, ((vb, cb) as hb) :: tb ->
+      let cmp = String.compare va vb in
+      if cmp < 0 then ha :: merge_terms ta b
+      else if cmp > 0 then hb :: merge_terms a tb
+      else
+        let c = ca + cb in
+        if c = 0 then merge_terms ta tb else (va, c) :: merge_terms ta tb
+
+let affine_add a b = { base = a.base + b.base; terms = merge_terms a.terms b.terms }
+
+let affine_scale k a =
+  if k = 0 then affine_const 0
+  else { base = k * a.base; terms = List.map (fun (v, c) -> (v, k * c)) a.terms }
+
+let affine_neg a = affine_scale (-1) a
+
+let rec affine_of_iexpr = function
+  | Ivar name -> Some { base = 0; terms = [ (name, 1) ] }
+  | Iconst n -> Some (affine_const n)
+  | Iadd (a, b) -> (
+      match (affine_of_iexpr a, affine_of_iexpr b) with
+      | Some a, Some b -> Some (affine_add a b)
+      | _ -> None)
+  | Isub (a, b) -> (
+      match (affine_of_iexpr a, affine_of_iexpr b) with
+      | Some a, Some b -> Some (affine_add a (affine_neg b))
+      | _ -> None)
+  | Imul (a, b) -> (
+      match (affine_of_iexpr a, affine_of_iexpr b) with
+      | Some { base = k; terms = [] }, Some e | Some e, Some { base = k; terms = [] }
+        ->
+          Some (affine_scale k e)
+      | _ -> None)
+  | Idiv (a, b) -> (
+      (* Division distributes over an affine form only in the constant
+         case; anything else leaves the tree evaluator in charge. *)
+      match (affine_of_iexpr a, affine_of_iexpr b) with
+      | Some { base = n; terms = [] }, Some { base = d; terms = [] } when d <> 0 ->
+          Some (affine_const (euclid_div n d))
+      | _ -> None)
+  | Imod (a, b) -> (
+      match (affine_of_iexpr a, affine_of_iexpr b) with
+      | Some { base = n; terms = [] }, Some { base = d; terms = [] } when d <> 0 ->
+          Some (affine_const (euclid_mod n d))
+      | _ -> None)
+
+let affine_eval env { base; terms } =
+  List.fold_left
+    (fun acc (v, c) ->
+      match List.assoc_opt v env with
+      | Some value -> acc + (c * value)
+      | None -> invalid_arg (Printf.sprintf "Expr.affine_eval: unbound index %s" v))
+    base terms
+
+(* Constant folding: evaluate every constant subtree, preserving the
+   Euclidean div/mod semantics.  Returns a tree (not an affine form) so
+   non-affine expressions still simplify — an unrolled loop substitutes
+   [Iconst] for its counter and folding then collapses the BCM-style
+   [((j - t) mod b)] indices to plain constants. *)
+let rec fold_iexpr e =
+  match e with
+  | Ivar _ | Iconst _ -> e
+  | Iadd (a, b) -> (
+      match (fold_iexpr a, fold_iexpr b) with
+      | Iconst x, Iconst y -> Iconst (x + y)
+      | Iconst 0, e | e, Iconst 0 -> e
+      | a, b -> Iadd (a, b))
+  | Isub (a, b) -> (
+      match (fold_iexpr a, fold_iexpr b) with
+      | Iconst x, Iconst y -> Iconst (x - y)
+      | e, Iconst 0 -> e
+      | a, b -> Isub (a, b))
+  | Imul (a, b) -> (
+      match (fold_iexpr a, fold_iexpr b) with
+      | Iconst x, Iconst y -> Iconst (x * y)
+      | Iconst 0, _ | _, Iconst 0 -> Iconst 0
+      | Iconst 1, e | e, Iconst 1 -> e
+      | a, b -> Imul (a, b))
+  | Idiv (a, b) -> (
+      match (fold_iexpr a, fold_iexpr b) with
+      | Iconst x, Iconst y when y <> 0 -> Iconst (euclid_div x y)
+      | a, b -> Idiv (a, b))
+  | Imod (a, b) -> (
+      match (fold_iexpr a, fold_iexpr b) with
+      | Iconst x, Iconst y when y <> 0 -> Iconst (euclid_mod x y)
+      | a, b -> Imod (a, b))
+
 let rec subst_iexpr env = function
   | Ivar name as e -> ( match List.assoc_opt name env with Some r -> r | None -> e)
   | Iconst _ as e -> e

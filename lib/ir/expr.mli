@@ -50,6 +50,44 @@ val eval_iexpr : (string * int) list -> iexpr -> int
 
 val eval_cond : (string * int) list -> cond -> bool
 
+(** {2 Affine (stride) analysis}
+
+    An index expression is {e affine} when it can be written
+    [base + Σ stride·var].  The compiled executor
+    ({!Ft_lower.Compile}) linearizes every affine access into a single
+    flat address computation; non-affine indices (variable div/mod)
+    fall back to tree evaluation. *)
+
+type affine = {
+  base : int;
+  terms : (string * int) list;
+      (** Sorted by variable name; coefficients are nonzero, each
+          variable appears at most once — structurally equal forms are
+          [=]-equal. *)
+}
+
+val affine_const : int -> affine
+val affine_add : affine -> affine -> affine
+val affine_scale : int -> affine -> affine
+
+(** [affine_of_iexpr e] is [Some a] iff [e] is affine: sums,
+    differences and products with a constant side fold; [Idiv]/[Imod]
+    fold only when both operands reduce to constants (Euclidean
+    semantics).  Agrees with [eval_iexpr] on every environment that
+    binds all variables. *)
+val affine_of_iexpr : iexpr -> affine option
+
+(** Evaluate an affine form; raises [Invalid_argument] on an unbound
+    variable. *)
+val affine_eval : (string * int) list -> affine -> int
+
+(** Constant-fold an index expression (Euclidean div/mod, additive and
+    multiplicative identities).  Unlike {!affine_of_iexpr} this keeps
+    the tree shape for non-affine parts, so substituting [Iconst] for
+    an unrolled loop counter collapses BCM-style [(j - t) mod b]
+    indices to constants. *)
+val fold_iexpr : iexpr -> iexpr
+
 (** {2 Analysis} *)
 
 val ivars_of_iexpr : iexpr -> string list

@@ -1,0 +1,383 @@
+(* Staged compilation of lowered programs into OCaml closures.
+
+   [Exec] is the reference semantics: a tree walk with assoc-list
+   variable bindings and a per-element [List.map] index allocation —
+   orders of magnitude too slow to time anything.  This pass removes
+   every per-element allocation and name lookup from the hot path:
+
+   - [Unrolled] loops are flattened at compile time by substituting
+     the constant counter into their bodies; constant folding
+     ({!Ft_ir.Expr.fold_iexpr}) then collapses the BCM/shift-style
+     div/mod indices the substitution exposes.
+   - Every multi-index whose dimensions are affine
+     ({!Ft_ir.Expr.affine_of_iexpr}) is linearized against the
+     buffer's row-major strides into one flat [base + Σ coeff·slot]
+     address; loop variables live in a flat [int array] indexed by
+     nesting depth, not an assoc list.  Non-affine indices (variable
+     div/mod) fall back to compiled tree evaluation with per-dimension
+     bounds checks.
+   - A reduce loop whose body is a single [Accum] with a
+     loop-invariant address accumulates in a register: the address is
+     hoisted out of the loop, the cell loaded once, combined per
+     iteration in ascending order, and stored once — bit-for-bit the
+     same float result as the load/combine/store-per-iteration
+     reference (identical combine order).
+
+   Buffers are the flat float64 Bigarrays of {!Ft_interp.Buffer_env};
+   affine accesses rely on the Bigarray flat bounds check (a schedule
+   that Verify accepts never goes out of bounds per dimension).
+
+   The staged thunk is single-threaded (loop counters live in one
+   shared slot array) and captures buffers eagerly: rebind after any
+   [Buffer_env.set] that replaces a tensor.  Re-running a thunk is
+   idempotent — the lowered init nests re-zero accumulators. *)
+
+open Ft_ir
+
+type vec = Ft_interp.Buffer_env.vec
+
+type t = {
+  source : string;
+  allocs : (string * int list) list;
+  body : Loopnest.stmt list;  (* unroll-flattened, constant-folded *)
+  slots : int;  (* loop-variable slot array size (max nesting depth) *)
+}
+
+let source t = t.source
+let stmt_count t = Loopnest.count_stmts t.body
+
+(* -- Unroll flattening and constant folding ------------------------- *)
+
+let rec fold_cond = function
+  | Expr.Ge (a, b) -> Expr.Ge (Expr.fold_iexpr a, Expr.fold_iexpr b)
+  | Expr.Lt (a, b) -> Expr.Lt (Expr.fold_iexpr a, Expr.fold_iexpr b)
+  | Expr.Eq (a, b) -> Expr.Eq (Expr.fold_iexpr a, Expr.fold_iexpr b)
+  | Expr.And (a, b) -> Expr.And (fold_cond a, fold_cond b)
+
+let rec fold_texpr = function
+  | Expr.Access (tensor, indices) ->
+      Expr.Access (tensor, List.map Expr.fold_iexpr indices)
+  | Expr.Const x -> Expr.Const x
+  | Expr.Add (a, b) -> Expr.Add (fold_texpr a, fold_texpr b)
+  | Expr.Sub (a, b) -> Expr.Sub (fold_texpr a, fold_texpr b)
+  | Expr.Mul (a, b) -> Expr.Mul (fold_texpr a, fold_texpr b)
+  | Expr.Select (c, a, b) -> Expr.Select (fold_cond c, fold_texpr a, fold_texpr b)
+
+let subst_fold_iexpr env e = Expr.fold_iexpr (Expr.subst_iexpr env e)
+
+let rec subst_stmt env = function
+  | Loopnest.Loop l ->
+      (* An inner loop re-binding the substituted name shadows it. *)
+      let env = List.filter (fun (v, _) -> v <> l.var) env in
+      Loopnest.Loop { l with body = List.map (subst_stmt env) l.body }
+  | Loopnest.Init i ->
+      Loopnest.Init { i with indices = List.map (subst_fold_iexpr env) i.indices }
+  | Loopnest.Accum a ->
+      Loopnest.Accum
+        {
+          a with
+          indices = List.map (subst_fold_iexpr env) a.indices;
+          value = fold_texpr (Expr.subst_texpr env a.value);
+        }
+  | Loopnest.Assign a ->
+      Loopnest.Assign
+        {
+          a with
+          indices = List.map (subst_fold_iexpr env) a.indices;
+          value = fold_texpr (Expr.subst_texpr env a.value);
+        }
+
+(* Flattening an unrolled loop duplicates its body [extent] times; cap
+   the blowup so a pathological schedule degrades to a serial loop
+   instead of exhausting memory. *)
+let max_unrolled_stmts = 4096
+
+let rec flatten_stmt = function
+  | Loopnest.Loop ({ extent = 1; _ } as l) ->
+      (* A trip-count-1 loop only binds its variable to 0; substitute
+         and drop the level, whatever its binding. *)
+      let body = List.concat_map flatten_stmt l.body in
+      List.map (subst_stmt [ (l.var, Expr.Iconst 0) ]) body
+  | Loopnest.Loop ({ binding = Loopnest.Unrolled; _ } as l) ->
+      let body = List.concat_map flatten_stmt l.body in
+      if l.extent * Loopnest.count_stmts body > max_unrolled_stmts then
+        [ Loopnest.Loop { l with binding = Loopnest.Serial; body } ]
+      else
+        List.concat
+          (List.init l.extent (fun i ->
+               List.map (subst_stmt [ (l.var, Expr.Iconst i) ]) body))
+  | Loopnest.Loop l ->
+      [ Loopnest.Loop { l with body = List.concat_map flatten_stmt l.body } ]
+  | (Loopnest.Init _ | Loopnest.Accum _ | Loopnest.Assign _) as s ->
+      [ subst_stmt [] s ]
+
+let compile (program : Loopnest.program) =
+  let body = List.concat_map flatten_stmt program.body in
+  {
+    source = program.source;
+    allocs = program.allocs;
+    body;
+    slots = max 1 (Loopnest.max_depth body);
+  }
+
+(* -- Staging -------------------------------------------------------- *)
+
+type buf = { data : vec; dims : int array; strides : int array }
+
+(* A compiled flat-address computation.  [Affine] keeps the symbolic
+   form so loop compilation can test slot usage for hoisting. *)
+type addr =
+  | Affine of { base : int; coeffs : int array; slots : int array }
+  | Dynamic of (int array -> int)
+
+let slot_of cenv var =
+  match List.assoc_opt var cenv with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Compile: unbound index variable %s" var)
+
+let rec compile_iexpr cenv : Expr.iexpr -> int array -> int = function
+  | Expr.Ivar var ->
+      let s = slot_of cenv var in
+      fun vars -> vars.(s)
+  | Expr.Iconst n -> fun _ -> n
+  | Expr.Iadd (a, b) ->
+      let fa = compile_iexpr cenv a and fb = compile_iexpr cenv b in
+      fun vars -> fa vars + fb vars
+  | Expr.Isub (a, b) ->
+      let fa = compile_iexpr cenv a and fb = compile_iexpr cenv b in
+      fun vars -> fa vars - fb vars
+  | Expr.Imul (a, b) ->
+      let fa = compile_iexpr cenv a and fb = compile_iexpr cenv b in
+      fun vars -> fa vars * fb vars
+  | Expr.Idiv (a, b) ->
+      let fa = compile_iexpr cenv a and fb = compile_iexpr cenv b in
+      fun vars -> Expr.euclid_div (fa vars) (fb vars)
+  | Expr.Imod (a, b) ->
+      let fa = compile_iexpr cenv a and fb = compile_iexpr cenv b in
+      fun vars -> Expr.euclid_mod (fa vars) (fb vars)
+
+(* Non-affine fallback: per-dimension closures with the same bounds
+   semantics as [Buffer_env.flat_index]. *)
+let dynamic_addr cenv tensor buf indices =
+  let fns = Array.of_list (List.map (compile_iexpr cenv) indices) in
+  Dynamic
+    (fun vars ->
+      let acc = ref 0 in
+      for d = 0 to Array.length fns - 1 do
+        let i = fns.(d) vars in
+        if i < 0 || i >= buf.dims.(d) then
+          invalid_arg
+            (Printf.sprintf
+               "Buffer_env.flat_index: %s index %d out of bounds [0, %d)" tensor
+               i buf.dims.(d));
+        acc := (!acc * buf.dims.(d)) + i
+      done;
+      !acc)
+
+let addr_of_access cenv tensor buf indices =
+  if List.length indices <> Array.length buf.dims then
+    invalid_arg
+      (Printf.sprintf "Buffer_env.flat_index: %s rank mismatch" tensor);
+  let affine_dims = List.map Expr.affine_of_iexpr indices in
+  if List.for_all Option.is_some affine_dims then
+    (* Linearize: flat = Σ_d stride_d · affine_d. *)
+    let flat =
+      List.fold_left
+        (fun (d, acc) a ->
+          ( d + 1,
+            Expr.affine_add acc
+              (Expr.affine_scale buf.strides.(d) (Option.get a)) ))
+        (0, Expr.affine_const 0) affine_dims
+      |> snd
+    in
+    let terms = Array.of_list flat.Expr.terms in
+    Affine
+      {
+        base = flat.Expr.base;
+        coeffs = Array.map snd terms;
+        slots = Array.map (fun (v, _) -> slot_of cenv v) terms;
+      }
+  else dynamic_addr cenv tensor buf indices
+
+let addr_uses_slot addr s =
+  match addr with
+  | Affine { slots; _ } -> Array.exists (fun x -> x = s) slots
+  | Dynamic _ -> true (* conservative *)
+
+let addr_fn = function
+  | Affine { base; coeffs = [||]; _ } -> fun _ -> base
+  | Affine { base; coeffs = [| c0 |]; slots = [| s0 |] } ->
+      fun vars -> base + (c0 * vars.(s0))
+  | Affine { base; coeffs = [| c0; c1 |]; slots = [| s0; s1 |] } ->
+      fun vars -> base + (c0 * vars.(s0)) + (c1 * vars.(s1))
+  | Affine { base; coeffs = [| c0; c1; c2 |]; slots = [| s0; s1; s2 |] } ->
+      fun vars -> base + (c0 * vars.(s0)) + (c1 * vars.(s1)) + (c2 * vars.(s2))
+  | Affine { base; coeffs; slots } ->
+      fun vars ->
+        let acc = ref base in
+        for k = 0 to Array.length coeffs - 1 do
+          acc := !acc + (coeffs.(k) * vars.(slots.(k)))
+        done;
+        !acc
+  | Dynamic fn -> fn
+
+let rec compile_cond cenv : Expr.cond -> int array -> bool = function
+  | Expr.Ge (a, b) ->
+      let fa = compile_iexpr cenv a and fb = compile_iexpr cenv b in
+      fun vars -> fa vars >= fb vars
+  | Expr.Lt (a, b) ->
+      let fa = compile_iexpr cenv a and fb = compile_iexpr cenv b in
+      fun vars -> fa vars < fb vars
+  | Expr.Eq (a, b) ->
+      let fa = compile_iexpr cenv a and fb = compile_iexpr cenv b in
+      fun vars -> fa vars = fb vars
+  | Expr.And (a, b) ->
+      let fa = compile_cond cenv a and fb = compile_cond cenv b in
+      fun vars -> fa vars && fb vars
+
+let rec compile_texpr cenv resolve : Expr.texpr -> int array -> float = function
+  | Expr.Access (tensor, indices) -> (
+      let buf = resolve tensor in
+      let data : vec = buf.data in
+      match addr_of_access cenv tensor buf indices with
+      | Affine { base; coeffs = [||]; _ } ->
+          fun _ -> Bigarray.Array1.get data base
+      | Affine { base; coeffs = [| c0 |]; slots = [| s0 |] } ->
+          fun vars -> Bigarray.Array1.get data (base + (c0 * vars.(s0)))
+      | Affine { base; coeffs = [| c0; c1 |]; slots = [| s0; s1 |] } ->
+          fun vars ->
+            Bigarray.Array1.get data (base + (c0 * vars.(s0)) + (c1 * vars.(s1)))
+      | addr ->
+          let afn = addr_fn addr in
+          fun vars -> Bigarray.Array1.get data (afn vars))
+  | Expr.Const x -> fun _ -> x
+  | Expr.Add (a, b) ->
+      let fa = compile_texpr cenv resolve a and fb = compile_texpr cenv resolve b in
+      fun vars -> fa vars +. fb vars
+  | Expr.Sub (a, b) ->
+      let fa = compile_texpr cenv resolve a and fb = compile_texpr cenv resolve b in
+      fun vars -> fa vars -. fb vars
+  | Expr.Mul (a, b) ->
+      let fa = compile_texpr cenv resolve a and fb = compile_texpr cenv resolve b in
+      fun vars -> fa vars *. fb vars
+  | Expr.Select (c, a, b) ->
+      (* Branch closures run only when taken, preserving the lazy
+         padding semantics of the reference evaluator. *)
+      let fc = compile_cond cenv c in
+      let fa = compile_texpr cenv resolve a and fb = compile_texpr cenv resolve b in
+      fun vars -> if fc vars then fa vars else fb vars
+
+let rec compile_stmt cenv depth resolve : Loopnest.stmt -> int array -> unit =
+  function
+  | Loopnest.Loop
+      { var; extent; body = [ Accum { tensor; indices; combine; value } ]; _ }
+    when not (List.mem tensor (Expr.tensors_read value)) -> (
+      (* Register-accumulation hoist: single-statement reduce loop
+         whose write address is loop-invariant. *)
+      let cenv' = (var, depth) :: cenv in
+      let buf = resolve tensor in
+      let addr = addr_of_access cenv' tensor buf indices in
+      if addr_uses_slot addr depth then
+        compile_loop cenv depth resolve var extent
+          [ Loopnest.Accum { tensor; indices; combine; value } ]
+      else
+        let afn = addr_fn addr in
+        let vfn = compile_texpr cenv' resolve value in
+        let data : vec = buf.data in
+        match combine with
+        | Op.Acc_sum ->
+            fun vars ->
+              let at = afn vars in
+              let acc = ref (Bigarray.Array1.get data at) in
+              for i = 0 to extent - 1 do
+                vars.(depth) <- i;
+                acc := !acc +. vfn vars
+              done;
+              Bigarray.Array1.set data at !acc
+        | Op.Acc_max ->
+            fun vars ->
+              let at = afn vars in
+              let acc = ref (Bigarray.Array1.get data at) in
+              for i = 0 to extent - 1 do
+                vars.(depth) <- i;
+                acc := Float.max !acc (vfn vars)
+              done;
+              Bigarray.Array1.set data at !acc)
+  | Loopnest.Loop { var; extent; body; _ } ->
+      compile_loop cenv depth resolve var extent body
+  | Loopnest.Init { tensor; indices; value } ->
+      let buf = resolve tensor in
+      let afn = addr_fn (addr_of_access cenv tensor buf indices) in
+      let data : vec = buf.data in
+      fun vars -> Bigarray.Array1.set data (afn vars) value
+  | Loopnest.Accum { tensor; indices; combine; value } -> (
+      let buf = resolve tensor in
+      let afn = addr_fn (addr_of_access cenv tensor buf indices) in
+      let vfn = compile_texpr cenv resolve value in
+      let data : vec = buf.data in
+      match combine with
+      | Op.Acc_sum ->
+          fun vars ->
+            let at = afn vars in
+            Bigarray.Array1.set data at
+              (Bigarray.Array1.get data at +. vfn vars)
+      | Op.Acc_max ->
+          fun vars ->
+            let at = afn vars in
+            Bigarray.Array1.set data at
+              (Float.max (Bigarray.Array1.get data at) (vfn vars)))
+  | Loopnest.Assign { tensor; indices; value } ->
+      let buf = resolve tensor in
+      let afn = addr_fn (addr_of_access cenv tensor buf indices) in
+      let vfn = compile_texpr cenv resolve value in
+      let data : vec = buf.data in
+      fun vars -> Bigarray.Array1.set data (afn vars) (vfn vars)
+
+and compile_loop cenv depth resolve var extent body =
+  let cenv' = (var, depth) :: cenv in
+  match List.map (compile_stmt cenv' (depth + 1) resolve) body with
+  | [ f ] ->
+      fun vars ->
+        for i = 0 to extent - 1 do
+          vars.(depth) <- i;
+          f vars
+        done
+  | fns ->
+      let fns = Array.of_list fns in
+      fun vars ->
+        for i = 0 to extent - 1 do
+          vars.(depth) <- i;
+          for k = 0 to Array.length fns - 1 do
+            fns.(k) vars
+          done
+        done
+
+let bind t env =
+  List.iter
+    (fun (tensor, shape) ->
+      ignore (Ft_interp.Buffer_env.alloc env tensor shape))
+    t.allocs;
+  let cache : (string, buf) Hashtbl.t = Hashtbl.create 8 in
+  let resolve tensor =
+    match Hashtbl.find_opt cache tensor with
+    | Some buf -> buf
+    | None ->
+        let b = Ft_interp.Buffer_env.find env tensor in
+        let dims = Array.of_list b.Ft_interp.Buffer_env.shape in
+        let n = Array.length dims in
+        let strides = Array.make n 1 in
+        for d = n - 2 downto 0 do
+          strides.(d) <- strides.(d + 1) * dims.(d + 1)
+        done;
+        let buf = { data = b.Ft_interp.Buffer_env.data; dims; strides } in
+        Hashtbl.replace cache tensor buf;
+        buf
+  in
+  let fns = Array.of_list (List.map (compile_stmt [] 0 resolve) t.body) in
+  let vars = Array.make t.slots 0 in
+  fun () ->
+    for k = 0 to Array.length fns - 1 do
+      fns.(k) vars
+    done
+
+let run t env = bind t env ()

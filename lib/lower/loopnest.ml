@@ -41,6 +41,16 @@ let rec count_stmts stmts =
       | Init _ | Accum _ | Assign _ -> acc + 1)
     0 stmts
 
+(* Leaf-statement executions: the trip-count product of the enclosing
+   loops, summed over every Init/Accum/Assign. *)
+let rec total_iterations stmts =
+  List.fold_left
+    (fun acc stmt ->
+      match stmt with
+      | Loop { extent; body; _ } -> acc + (extent * total_iterations body)
+      | Init _ | Accum _ | Assign _ -> acc + 1)
+    0 stmts
+
 let rec max_depth stmts =
   List.fold_left
     (fun acc stmt ->

@@ -32,4 +32,9 @@ type program = {
 
 val binding_to_string : binding -> string
 val count_stmts : stmt list -> int
+
+(** Total leaf-statement executions — each Init/Accum/Assign weighted
+    by the trip-count product of its enclosing loops. *)
+val total_iterations : stmt list -> int
+
 val max_depth : stmt list -> int

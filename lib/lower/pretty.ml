@@ -44,4 +44,9 @@ let render (program : Loopnest.program) =
            (String.concat "" (List.map (Printf.sprintf "[%d]") shape))))
     program.allocs;
   List.iter (render_stmt buf 0) program.body;
+  Buffer.add_string buf
+    (Printf.sprintf "// stmts=%d depth=%d iterations=%d\n"
+       (Loopnest.count_stmts program.body)
+       (Loopnest.max_depth program.body)
+       (Loopnest.total_iterations program.body));
   Buffer.contents buf

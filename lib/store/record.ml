@@ -14,6 +14,7 @@ type t = {
   sim_time_s : float;
   n_evals : int;
   config : string;
+  source : string;
 }
 
 let key_of_space (space : Ft_schedule.Space.t) =
@@ -81,6 +82,7 @@ let to_value r =
       ("sim_time_s", Json.Num r.sim_time_s);
       ("n_evals", Json.Num (float_of_int r.n_evals));
       ("config", Json.Str r.config);
+      ("source", Json.Str r.source);
     ]
 
 let to_json r = Json.to_string (to_value r)
@@ -111,6 +113,13 @@ let of_value value =
   let* sim_time_s = field value "sim_time_s" Json.to_num in
   let* n_evals = field value "n_evals" Json.to_int in
   let* config = field value "config" Json.to_str in
+  (* Logs written before provenance existed carry no source; they are
+     analytical by construction. *)
+  let source =
+    match Json.member "source" value with
+    | Some (Json.Str s) -> s
+    | _ -> "analytical"
+  in
   Ok
     {
       key = { graph; op; target; spatial; reduce };
@@ -120,6 +129,7 @@ let of_value value =
       sim_time_s;
       n_evals;
       config;
+      source;
     }
 
 let of_json line =

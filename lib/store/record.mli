@@ -23,6 +23,13 @@ type t = {
   sim_time_s : float;  (** simulated exploration time of the search *)
   n_evals : int;
   config : string;  (** {!Ft_schedule.Config_io.to_string} of the best point *)
+  source : string;
+      (** Provenance of [best_value]:
+          {!Ft_hw.Perf.provenance_to_string} — ["analytical"] for every
+          search record (replay stays exact); a
+          ["measured reps=R min_ns=N"] annotation records that the
+          config was additionally timed on the host.  Records parsed
+          from pre-provenance logs default to ["analytical"]. *)
 }
 
 val key_of_space : Ft_schedule.Space.t -> key

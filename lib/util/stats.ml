@@ -30,3 +30,40 @@ let ratio_list ~num ~den =
   if List.length num <> List.length den then
     invalid_arg "Stats.ratio_list: length mismatch";
   List.map2 (fun a b -> if b = 0. then nan else a /. b) num den
+
+(* Average ranks (1-based), ties sharing the mean of their positions —
+   the standard fractional ranking Spearman correlation expects. *)
+let ranks xs =
+  let n = Array.length xs in
+  let order = Array.init n Fun.id in
+  Array.sort (fun a b -> Float.compare xs.(a) xs.(b)) order;
+  let r = Array.make n 0. in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref !i in
+    while !j + 1 < n && xs.(order.(!j + 1)) = xs.(order.(!i)) do
+      incr j
+    done;
+    (* positions !i..!j hold equal values; each gets the mean rank *)
+    let shared = float_of_int (!i + !j + 2) /. 2. in
+    for k = !i to !j do
+      r.(order.(k)) <- shared
+    done;
+    i := !j + 1
+  done;
+  r
+
+let spearman xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then invalid_arg "Stats.spearman: length mismatch";
+  if n < 2 then invalid_arg "Stats.spearman: need at least two points";
+  let rx = ranks xs and ry = ranks ys in
+  let mean_rank = float_of_int (n + 1) /. 2. in
+  let num = ref 0. and dx = ref 0. and dy = ref 0. in
+  for i = 0 to n - 1 do
+    let a = rx.(i) -. mean_rank and b = ry.(i) -. mean_rank in
+    num := !num +. (a *. b);
+    dx := !dx +. (a *. a);
+    dy := !dy +. (b *. b)
+  done;
+  if !dx = 0. || !dy = 0. then 0. else !num /. sqrt (!dx *. !dy)

@@ -18,3 +18,11 @@ val normalize_to_max : float list -> float list
 
 (** Element-wise [num /. den]; [nan] where the denominator is zero. *)
 val ratio_list : num:float list -> den:float list -> float list
+
+(** 1-based fractional ranks (ties share the mean of their positions). *)
+val ranks : float array -> float array
+
+(** Spearman rank correlation (Pearson on fractional ranks); 0. when
+    either series is constant, raises on mismatched or <2-point
+    input. *)
+val spearman : float array -> float array -> float

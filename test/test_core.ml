@@ -169,6 +169,52 @@ let test_restart_history_merged () =
   let last1 = List.nth single.history (List.length single.history - 1) in
   Alcotest.(check int) "single-run endpoint evals" single.n_evals last1.n_evals
 
+(* Measured mode never perturbs the search: a seeded [optimize] with a
+   [measurer] attached returns bit-for-bit the schedule, value, eval
+   count and history of the same run without one — measurement happens
+   strictly after the search, on the winning config only.  qcheck
+   varies the seed, the method and the operator. *)
+let qcheck_measurer_invariance =
+  QCheck.Test.make ~name:"measurer never perturbs seeded searches" ~count:10
+    QCheck.(int_range 0 1_000_000)
+    (fun salt ->
+      let rng = Ft_util.Rng.create salt in
+      let pick l = List.nth l (Ft_util.Rng.int rng (List.length l)) in
+      let graph =
+        pick
+          [
+            Flextensor.Operators.gemm ~m:16 ~n:16 ~k:16;
+            Flextensor.Operators.gemv ~m:32 ~k:32;
+            Flextensor.Operators.conv1d ~batch:1 ~in_channels:4
+              ~out_channels:4 ~length:16 ~kernel:3 ();
+          ]
+      in
+      let target =
+        pick
+          Flextensor.Target.[ v100; xeon_e5_2699_v4; vu9p ]
+      in
+      let options =
+        {
+          Flextensor.default_options with
+          seed = salt;
+          n_trials = 5;
+          max_evals = Some 40;
+          search = pick [ "Q-method"; "random" ];
+        }
+      in
+      let space = Flextensor.Space.make graph target in
+      let measurer cfg = Flextensor.Measure.run ~warmup:0 ~reps:1 space cfg in
+      let plain = Flextensor.optimize ~options graph target in
+      let timed = Flextensor.optimize ~options ~measurer graph target in
+      Flextensor.Config.equal plain.config timed.config
+      && plain.perf_value = timed.perf_value
+      && plain.n_evals = timed.n_evals
+      && plain.history = timed.history
+      && plain.measured = None
+      && (match timed.measured with
+         | Some m -> Flextensor.Perf.is_measured m
+         | None -> not timed.perf.valid))
+
 let test_summary_string () =
   let graph = Flextensor.Operators.gemm ~m:32 ~n:32 ~k:32 in
   let report = Flextensor.optimize ~options graph Flextensor.Target.v100 in
@@ -195,6 +241,7 @@ let () =
           Alcotest.test_case "restarts" `Quick test_restarts_never_worse;
           Alcotest.test_case "restart history merge" `Quick
             test_restart_history_merged;
+          QCheck_alcotest.to_alcotest qcheck_measurer_invariance;
           Alcotest.test_case "summary" `Quick test_summary_string;
         ] );
     ]

@@ -20,8 +20,8 @@ let test_fused_graph_semantics () =
   let out = Ft_interp.Reference.run_graph env fused in
   check_bool "relu clamps at zero" true (Array.for_all (fun x -> x >= 0.) out);
   (* recompute manually *)
-  let conv_out = (Ft_interp.Buffer_env.find env "O").data in
-  let bias = (Ft_interp.Buffer_env.find env "bias").data in
+  let conv_out = Ft_interp.Buffer_env.(to_array (find env "O")) in
+  let bias = Ft_interp.Buffer_env.(to_array (find env "bias")) in
   let per_channel = Array.length conv_out / Array.length bias in
   Array.iteri
     (fun i x ->

@@ -87,7 +87,13 @@ let gen_perf =
     [ map Ft_hw.Perf.invalid str;
       map
         (fun ((time_s, gflops), note) ->
-          { Ft_hw.Perf.time_s; gflops; valid = true; note })
+          {
+            Ft_hw.Perf.time_s;
+            gflops;
+            valid = true;
+            note;
+            source = Ft_hw.Perf.Analytical;
+          })
         (pair (pair gen_finite gen_finite) str) ]
 
 let gen_entry = QCheck.Gen.pair gen_finite gen_perf

@@ -123,14 +123,14 @@ let test_relu_and_pool_nodes () =
   let env = env_with [ ("X", [ 1; 1; 2; 2 ], [| -1.; 2.; -3.; 4. |]) ] in
   Ft_interp.Reference.run_op env relu;
   Alcotest.(check (array (float 1e-6))) "relu" [| 0.; 2.; 0.; 4. |]
-    (Ft_interp.Buffer_env.find env "Y").data;
+    Ft_interp.Buffer_env.(to_array (find env "Y"));
   let pool =
     Operators.max_pool2d ~input:"X" ~output:"P" ~shape:[ 1; 1; 2; 2 ] ~kernel:2
       ~stride:2
   in
   Ft_interp.Reference.run_op env pool;
   Alcotest.(check (array (float 1e-6))) "maxpool" [| 4. |]
-    (Ft_interp.Buffer_env.find env "P").data
+    Ft_interp.Buffer_env.(to_array (find env "P"))
 
 let test_bias_add () =
   let bias = Operators.bias_add ~input:"X" ~bias:"b" ~output:"Y" ~shape:[ 1; 2; 1; 1 ] in
@@ -139,7 +139,7 @@ let test_bias_add () =
   in
   Ft_interp.Reference.run_op env bias;
   Alcotest.(check (array (float 1e-6))) "bias" [| 11.; 22. |]
-    (Ft_interp.Buffer_env.find env "Y").data
+    Ft_interp.Buffer_env.(to_array (find env "Y"))
 
 let test_buffer_env_bounds () =
   let env = env_with [ ("X", [ 2; 3 ], Array.make 6 0. ) ] in
@@ -168,7 +168,8 @@ let test_group_conv_groups1_equals_conv2d () =
   List.iter
     (fun (name, shape) ->
       let buffer = Ft_interp.Buffer_env.find env_dense name in
-      Ft_interp.Buffer_env.set env_grouped name shape (Array.copy buffer.data))
+      Ft_interp.Buffer_env.set env_grouped name shape
+        (Ft_interp.Buffer_env.to_array buffer))
     dense.inputs;
   let a = Ft_interp.Reference.run_graph env_dense dense in
   let b = Ft_interp.Reference.run_graph env_grouped grouped in
@@ -190,7 +191,8 @@ let test_dilated_d1_equals_conv2d () =
   List.iter
     (fun (name, shape) ->
       let buffer = Ft_interp.Buffer_env.find env_a name in
-      Ft_interp.Buffer_env.set env_b name shape (Array.copy buffer.data))
+      Ft_interp.Buffer_env.set env_b name shape
+        (Ft_interp.Buffer_env.to_array buffer))
     dense.inputs;
   let a = Ft_interp.Reference.run_graph env_a dense in
   let b = Ft_interp.Reference.run_graph env_b dilated in

@@ -80,6 +80,7 @@ let test_names_round_trip_through_store () =
           sim_time_s = 1.0;
           n_evals = 1;
           config;
+          source = "analytical";
         })
     (Flextensor.Method.list ());
   List.iter

@@ -27,6 +27,7 @@ let record_of ?(method_name = "Q-method") ?(seed = 2020) ?(best = 100.)
     sim_time_s;
     n_evals;
     config = Ft_schedule.Config_io.to_string cfg;
+    source = "analytical";
   }
 
 (* --- JSON --- *)
@@ -108,6 +109,7 @@ let qcheck_record_roundtrip =
           n_evals = Ft_util.Rng.int rng 1000;
           config =
             Ft_schedule.Config_io.to_string (Ft_schedule.Space.random_config rng space);
+          source = "analytical";
         }
       in
       match Record.of_json (Record.to_json record) with

@@ -43,6 +43,7 @@ let record_of ?(method_name = "Q-method") ?(seed = 2020) ?(best = 100.)
     sim_time_s = 12.5;
     n_evals = 40;
     config;
+    source = "analytical";
   }
 
 (* --- satellite regression: line-atomic appends --- *)
@@ -291,7 +292,16 @@ let gen_record =
   in
   map
     (fun (key, (method_name, (seed, (best_value, (sim_time_s, (n_evals, config)))))) ->
-      { Record.key; method_name; seed; best_value; sim_time_s; n_evals; config })
+      {
+        Record.key;
+        method_name;
+        seed;
+        best_value;
+        sim_time_s;
+        n_evals;
+        config;
+        source = "analytical";
+      })
     (pair gen_key
        (pair (string_size (int_range 0 10))
           (pair nat
