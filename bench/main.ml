@@ -24,6 +24,7 @@ let experiments =
     ("store", Store_bench.run);
     ("fleet", Fleet_bench.run);
     ("model", Model_bench.run);
+    ("sandbox", Sandbox_bench.run);
   ]
 
 let () =

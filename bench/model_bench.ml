@@ -132,7 +132,12 @@ let best_found space =
       }
       space
   in
-  let measured = Flextensor.Measure.run space result.Ft_explore.Driver.best_config in
+  (* Measure the winner the way `optimize --measure` does: in the
+     sandbox, so a pathological best schedule cannot take the bench
+     harness down (DESIGN.md §16). *)
+  let measured =
+    Flextensor.Sandbox.measurer space result.Ft_explore.Driver.best_config
+  in
   (result.Ft_explore.Driver.best_perf, measured)
 
 type op_result = {

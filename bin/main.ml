@@ -199,6 +199,33 @@ let measure_arg =
                perturbs the search: seeded runs stay bit-for-bit \
                identical with or without this flag.")
 
+(* Measurement isolation knobs (DESIGN.md §16).  The sandbox is the
+   default because an in-process measurement that segfaults or hangs
+   takes the whole tuner down with it; `--measure-isolate off` is the
+   escape hatch for debugging the measurement path itself. *)
+let measure_isolate_arg =
+  Arg.(value & opt (enum [ ("on", true); ("off", false) ]) true
+       & info [ "measure-isolate" ] ~docv:"on|off"
+         ~doc:"Run each $(b,--measure) timing in a forked child process \
+               with a watchdog and rlimits, so a hang, segfault, or \
+               out-of-memory kernel is contained as an invalid result \
+               instead of killing the tuner.  $(b,off) times in-process \
+               (faster to debug, no containment).")
+
+let measure_timeout_arg =
+  Arg.(value & opt float 10. & info [ "measure-timeout" ] ~docv:"SECONDS"
+         ~doc:"Wall-clock budget per sandboxed measurement; on expiry \
+               the child is killed (SIGKILL) and the result is invalid \
+               with a timeout reason.  Only meaningful with \
+               $(b,--measure-isolate on).")
+
+let measure_mem_mb_arg =
+  Arg.(value & opt int 4096 & info [ "measure-mem-mb" ] ~docv:"MB"
+         ~doc:"Address-space cap (RLIMIT_AS) for the sandboxed \
+               measurement child, in MiB; an allocation past the cap is \
+               contained as an out-of-memory result.  0 disables the \
+               cap.  Only meaningful with $(b,--measure-isolate on).")
+
 let log_arg =
   Arg.(value & opt (some string) None & info [ "log" ] ~docv:"FILE"
          ~doc:"Append the finished search to the JSONL tuning log $(docv) \
@@ -270,7 +297,8 @@ let space_cmd =
 
 let optimize_cmd =
   let run op dims target seed trials search jobs n_parallel trace log reuse
-      faults checkpoint resume fleet fleet_listen fleet_grace measure =
+      faults checkpoint resume fleet fleet_listen fleet_grace measure
+      measure_isolate measure_timeout measure_mem_mb =
     with_graph op dims (fun graph ->
         set_jobs jobs;
         set_trace trace;
@@ -380,7 +408,16 @@ let optimize_cmd =
           if not measure then None
           else
             let space = Flextensor.Space.make graph target in
-            Some (fun cfg -> Flextensor.Measure.run space cfg)
+            if measure_isolate then
+              let limits =
+                {
+                  Flextensor.Sandbox.timeout_s = measure_timeout;
+                  mem_mb =
+                    (if measure_mem_mb <= 0 then None else Some measure_mem_mb);
+                }
+              in
+              Some (Flextensor.Sandbox.measurer ~limits space)
+            else Some (fun cfg -> Flextensor.Measure.run space cfg)
         in
         (* The search loop itself is silent about resuming; surface the
            checkpoint it will pick up (same run identity, newest wins)
@@ -466,7 +503,8 @@ let optimize_cmd =
     Term.(const run $ op_arg $ dims_arg $ target_arg $ seed_arg $ trials_arg
           $ method_arg $ jobs_arg $ n_parallel_arg $ trace_arg $ log_arg
           $ reuse_arg $ faults_arg $ checkpoint_arg $ resume_arg $ fleet_arg
-          $ fleet_listen_arg $ fleet_grace_arg $ measure_arg)
+          $ fleet_listen_arg $ fleet_grace_arg $ measure_arg
+          $ measure_isolate_arg $ measure_timeout_arg $ measure_mem_mb_arg)
 
 (* `schedule replay`: reapply a tuning-log entry without searching and
    check that the recomputed value equals the logged best bit-for-bit

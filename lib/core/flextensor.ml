@@ -19,6 +19,8 @@ module Pretty = Ft_lower.Pretty
 module Verify = Ft_lower.Verify
 module Compile = Ft_lower.Compile
 module Measure = Ft_lower.Measure
+module Monotime = Ft_lower.Monotime
+module Sandbox = Ft_lower.Sandbox
 module Driver = Ft_explore.Driver
 module Pool = Ft_par.Pool
 module Trace = Ft_obs.Trace

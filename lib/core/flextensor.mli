@@ -36,6 +36,19 @@ module Compile = Ft_lower.Compile
 (** Wall-clock measurement of scheduled configs via {!Compile}
     ({!Ft_lower.Measure}); results carry [Measured] provenance. *)
 module Measure = Ft_lower.Measure
+
+(** Monotonic clock ({!Ft_lower.Monotime}): kernel timing and the
+    sandbox watchdog — immune to NTP steps. *)
+module Monotime = Ft_lower.Monotime
+
+(** Process-isolated measurement ({!Ft_lower.Sandbox}, DESIGN.md §16):
+    each measurement forks a rlimit-capped child under a SIGKILL
+    watchdog, so hangs, segfaults, and OOMs become structured
+    [Perf.invalid] results instead of killing the tuner.  The CLI's
+    [--measure] runs through {!Sandbox.measurer} by default
+    ([--measure-isolate off] opts out). *)
+module Sandbox = Ft_lower.Sandbox
+
 module Driver = Ft_explore.Driver
 
 (** Domain pool used for batched candidate evaluation; size it with

@@ -61,6 +61,52 @@ let compute_batch space ~flops_scale configs =
       | Error msg -> (0., Ft_hw.Perf.invalid ("fleet: bad config: " ^ msg)))
     configs
 
+(* While the main connection is busy computing a batch it sends
+   nothing, so a batch slower than the coordinator's stale threshold
+   (2 x heartbeat_s) used to look like a dead worker: the claim was
+   requeued and recomputed elsewhere.  With real (sandboxed)
+   measurement a batch can legitimately outlast any sane heartbeat
+   interval, so a pump thread beats on a second connection for the
+   whole session — the coordinator tracks liveness by worker name,
+   not by connection, so beats from the pump keep in-flight claims
+   alive.  Pump failures are silent: the main connection's own
+   claims/heartbeats still signal liveness between batches, exactly
+   the pre-pump behavior. *)
+let start_heartbeat_pump ~coordinator ~name ~heartbeat_s =
+  let stop = Atomic.make false in
+  let thread =
+    Thread.create
+      (fun () ->
+        match connect coordinator with
+        | Error _ -> ()
+        | Ok conn ->
+            Fun.protect
+              ~finally:(fun () -> close conn)
+              (fun () ->
+                let interval = Float.max 0.05 (heartbeat_s /. 2.) in
+                let rec nap left =
+                  if left > 0. && not (Atomic.get stop) then begin
+                    Thread.delay (Float.min 0.05 left);
+                    nap (left -. 0.05)
+                  end
+                in
+                let rec beat () =
+                  if not (Atomic.get stop) then
+                    match
+                      roundtrip conn (Protocol.Heartbeat { worker = name })
+                    with
+                    | Ok (Protocol.Ack | Protocol.Error _) ->
+                        nap interval;
+                        beat ()
+                    | Ok _ | Error _ -> ()  (* Done, or transport lost *)
+                in
+                beat ()))
+      ()
+  in
+  fun () ->
+    Atomic.set stop true;
+    Thread.join thread
+
 type session_end =
   | Finished  (* coordinator said Done *)
   | Lost of string  (* transport failure: reconnect *)
@@ -68,51 +114,58 @@ type session_end =
 
 (* One connection's lifetime: join, then claim/compute/report until
    Done or the transport drops. *)
-let session ~name ~batches conn =
+let session ~coordinator ~name ~batches ~compute conn =
   match roundtrip conn (Protocol.Join { worker = name }) with
-  | Ok (Protocol.Welcome { task; heartbeat_s = _ }) -> (
+  | Ok (Protocol.Welcome { task; heartbeat_s }) -> (
       match Task.space task with
       | Error msg ->
           ignore (roundtrip conn (Protocol.Leave { worker = name }));
           Fatal (Printf.sprintf "cannot build task space (%s)" msg)
       | Ok space ->
           let flops_scale = task.Task.flops_scale in
-          let rec loop () =
-            match roundtrip conn (Protocol.Claim { worker = name }) with
-            | Ok (Protocol.Work { batch; configs }) -> (
-                let entries = compute_batch space ~flops_scale configs in
-                match
-                  roundtrip conn
-                    (Protocol.Result { worker = name; batch; entries })
-                with
-                | Ok (Protocol.Ack | Protocol.Error _) ->
-                    (* an Error here means a stale duplicate the
-                       coordinator rejected — keep claiming *)
-                    incr batches;
-                    loop ()
-                | Ok Protocol.Done -> Finished
-                | Ok _ -> Fatal "unexpected response to result"
-                | Error msg -> Lost msg)
-            | Ok (Protocol.Idle { backoff_s }) -> (
-                Thread.delay (Float.max 0.01 backoff_s);
-                match roundtrip conn (Protocol.Heartbeat { worker = name }) with
-                | Ok (Protocol.Ack | Protocol.Error _) -> loop ()
-                | Ok Protocol.Done -> Finished
-                | Ok _ -> Fatal "unexpected response to heartbeat"
-                | Error msg -> Lost msg)
-            | Ok Protocol.Done -> Finished
-            | Ok (Protocol.Error msg) -> Fatal ("coordinator error: " ^ msg)
-            | Ok _ -> Fatal "unexpected response to claim"
-            | Error msg -> Lost msg
+          let stop_pump =
+            start_heartbeat_pump ~coordinator ~name ~heartbeat_s
           in
-          loop ())
+          Fun.protect ~finally:stop_pump (fun () ->
+              let rec loop () =
+                match roundtrip conn (Protocol.Claim { worker = name }) with
+                | Ok (Protocol.Work { batch; configs }) -> (
+                    let entries = compute space ~flops_scale configs in
+                    match
+                      roundtrip conn
+                        (Protocol.Result { worker = name; batch; entries })
+                    with
+                    | Ok (Protocol.Ack | Protocol.Error _) ->
+                        (* an Error here means a stale duplicate the
+                           coordinator rejected — keep claiming *)
+                        incr batches;
+                        loop ()
+                    | Ok Protocol.Done -> Finished
+                    | Ok _ -> Fatal "unexpected response to result"
+                    | Error msg -> Lost msg)
+                | Ok (Protocol.Idle { backoff_s }) -> (
+                    Thread.delay (Float.max 0.01 backoff_s);
+                    match
+                      roundtrip conn (Protocol.Heartbeat { worker = name })
+                    with
+                    | Ok (Protocol.Ack | Protocol.Error _) -> loop ()
+                    | Ok Protocol.Done -> Finished
+                    | Ok _ -> Fatal "unexpected response to heartbeat"
+                    | Error msg -> Lost msg)
+                | Ok Protocol.Done -> Finished
+                | Ok (Protocol.Error msg) -> Fatal ("coordinator error: " ^ msg)
+                | Ok _ -> Fatal "unexpected response to claim"
+                | Error msg -> Lost msg
+              in
+              loop ()))
   | Ok (Protocol.Error msg) -> Fatal ("join rejected: " ^ msg)
   | Ok _ -> Fatal "unexpected response to join"
   | Error msg -> Lost msg
 
 let default_name () = Printf.sprintf "worker-%d" (Unix.getpid ())
 
-let run ?name ?(retries = 5) ?(retry_delay_s = 0.5) ~coordinator () =
+let run ?name ?(retries = 5) ?(retry_delay_s = 0.5) ?(compute = compute_batch)
+    ~coordinator () =
   let name = match name with Some n -> n | None -> default_name () in
   let batches = ref 0 in
   let rec attempt budget =
@@ -126,7 +179,7 @@ let run ?name ?(retries = 5) ?(retry_delay_s = 0.5) ~coordinator () =
     | Ok conn -> (
         let ended =
           Fun.protect ~finally:(fun () -> close conn) (fun () ->
-              session ~name ~batches conn)
+              session ~coordinator ~name ~batches ~compute conn)
         in
         match ended with
         | Finished -> Ok !batches

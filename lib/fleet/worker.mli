@@ -6,18 +6,37 @@
     Workers are stateless between batches, so they may join an
     already-running search, die, and be replaced freely; a dead
     worker's claims are requeued by the coordinator's heartbeat
-    timeout (DESIGN.md §14). *)
+    timeout (DESIGN.md §14).  While a batch is in flight a pump
+    thread heartbeats on a second connection, so a batch slower than
+    the stale threshold (e.g. real sandboxed measurement) is not
+    mistaken for a dead worker and its claim is not stolen. *)
+
+(** The default batch computation: parse each config text against the
+    space and query the analytical cost model.  Exposed as the default
+    for [run]'s [?compute] and for tests. *)
+val compute_batch :
+  Ft_schedule.Space.t ->
+  flops_scale:float ->
+  string list ->
+  (float * Ft_hw.Perf.t) list
 
 (** [run ~coordinator ()] serves until the coordinator finishes.
     Returns [Ok batches_completed], or [Error] after [retries]
     (default 5) failed connects/reconnects spaced [retry_delay_s]
     (default 0.5 s) apart, or on a protocol-level fatal (bad task,
     rejected join).  [name] defaults to ["worker-<pid>"] and must be
-    unique within a fleet. *)
+    unique within a fleet.  [compute] (default {!compute_batch})
+    evaluates one claimed batch — the seam for slow or measured
+    evaluation; heartbeats continue while it runs. *)
 val run :
   ?name:string ->
   ?retries:int ->
   ?retry_delay_s:float ->
+  ?compute:
+    (Ft_schedule.Space.t ->
+    flops_scale:float ->
+    string list ->
+    (float * Ft_hw.Perf.t) list) ->
   coordinator:string ->
   unit ->
   (int, string) result

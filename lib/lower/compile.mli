@@ -21,6 +21,11 @@
 
 type t
 
+(** Unroll-expansion budget: an [Unrolled] loop whose flattening would
+    exceed this many statements degrades to [Serial] instead.  Also a
+    {!Sandbox.preflight} threshold. *)
+val max_unrolled_stmts : int
+
 (** Flatten and fold; raises nothing, performs no allocation of
     tensors. *)
 val compile : Loopnest.program -> t

@@ -1,0 +1,3 @@
+external now_s : unit -> float = "ft_monotime_now_s"
+
+let elapsed_s t0 = now_s () -. t0

@@ -1,0 +1,13 @@
+(** Monotonic time ([clock_gettime(CLOCK_MONOTONIC)]) for kernel
+    timing and the {!Sandbox} watchdog.
+
+    Wall-clock time ([Unix.gettimeofday]) can step backwards under
+    NTP, producing negative kernel times and watchdog deadlines that
+    fire early or never; the monotonic clock only moves forward.  The
+    epoch is arbitrary (typically boot), so only differences are
+    meaningful. *)
+
+val now_s : unit -> float
+
+(** [elapsed_s t0] is [now_s () -. t0]. *)
+val elapsed_s : float -> float

@@ -1,0 +1,22 @@
+/* CLOCK_MONOTONIC for kernel timing and the sandbox watchdog.
+
+   Unix.gettimeofday is wall-clock time: an NTP step mid-measurement
+   yields a negative or wildly skewed kernel time, and a watchdog
+   deadline computed from it can fire early or never.  The monotonic
+   clock only moves forward.  tv_sec fits a double with ~0.1 ns of
+   slack for centuries of uptime, so one float return is exact enough
+   for nanosecond-scale kernel timing. */
+
+#include <caml/alloc.h>
+#include <caml/memory.h>
+#include <caml/mlvalues.h>
+
+#include <time.h>
+
+CAMLprim value ft_monotime_now_s(value unit)
+{
+  CAMLparam1(unit);
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  CAMLreturn(caml_copy_double((double) ts.tv_sec + (double) ts.tv_nsec * 1e-9));
+}

@@ -1,0 +1,386 @@
+(* Process-isolated measurement (DESIGN.md §16).
+
+   Layout: [run] forks; the child caps itself with setrlimit, measures
+   through the ordinary [Measure.run], and reports exactly one
+   length-prefixed JSON frame on a pipe before [Unix._exit] (never the
+   parent's at_exit handlers, never its buffered channels).  The
+   parent polls [waitpid WNOHANG] on a monotonic deadline, SIGKILLs on
+   expiry, and maps every way the child can die — signal, rlimit, bad
+   frame, silence — to a structured [fault].
+
+   The child runs OCaml, so the fork must happen in a single-domain
+   process: [Ft_par.Pool.quiesce_default] joins the worker domains
+   first (a child forked under live domains deadlocks at its first
+   stop-the-world section).  Systhreads are safe: the forking thread
+   holds the runtime lock, and the child touches no lock another
+   thread could have held. *)
+
+type fault =
+  | Timeout of float
+  | Crashed of int
+  | Oom
+  | Protocol_error of string
+
+let signal_name s =
+  if s = Sys.sigsegv then "SIGSEGV"
+  else if s = Sys.sigkill then "SIGKILL"
+  else if s = Sys.sigabrt then "SIGABRT"
+  else if s = Sys.sigbus then "SIGBUS"
+  else if s = Sys.sigfpe then "SIGFPE"
+  else if s = Sys.sigill then "SIGILL"
+  else if s = Sys.sigxcpu then "SIGXCPU"
+  else Printf.sprintf "signal %d" s
+
+let fault_to_string = function
+  | Timeout s -> Printf.sprintf "timeout after %.3g s" s
+  | Crashed s -> Printf.sprintf "crashed (%s)" (signal_name s)
+  | Oom -> "out of memory (address-space cap)"
+  | Protocol_error msg -> Printf.sprintf "protocol error (%s)" msg
+
+type limits = { timeout_s : float; mem_mb : int option }
+
+let default_limits = { timeout_s = 10.; mem_mb = Some 4096 }
+
+type chaos = Hang | Segv | Oom_hog | Garbage | Truncated | Silent
+
+let chaos_to_string = function
+  | Hang -> "hang"
+  | Segv -> "segv"
+  | Oom_hog -> "oom"
+  | Garbage -> "garbage"
+  | Truncated -> "truncated"
+  | Silent -> "silent"
+
+let chaos_of_string = function
+  | "hang" -> Some Hang
+  | "segv" -> Some Segv
+  | "oom" -> Some Oom_hog
+  | "garbage" -> Some Garbage
+  | "truncated" -> Some Truncated
+  | "silent" -> Some Silent
+  | _ -> None
+
+(* resource 0 = RLIMIT_AS (bytes), 1 = RLIMIT_CPU (seconds) *)
+external setrlimit : int -> int -> unit = "ft_sandbox_setrlimit"
+external raise_segv : unit -> unit = "ft_sandbox_segv"
+
+(* ---------------------------------------------------------------- *)
+(* Pre-flight static guard                                          *)
+
+(* Estimated unroll expansion: [Unrolled] extents multiply every
+   statement beneath them, which is what [Compile.compile] would
+   flatten. *)
+let rec unrolled_stmts stmts =
+  List.fold_left
+    (fun acc stmt ->
+      acc
+      +
+      match stmt with
+      | Loopnest.Loop { binding = Loopnest.Unrolled; extent; body; _ } ->
+          extent * unrolled_stmts body
+      | Loopnest.Loop { body; _ } -> unrolled_stmts body
+      | Loopnest.Init _ | Loopnest.Accum _ | Loopnest.Assign _ -> 1)
+    0 stmts
+
+let numel shape = List.fold_left ( * ) 1 shape
+
+(* Graph inputs plus program allocs cover every float64 buffer the
+   child will materialize. *)
+let estimated_bytes (space : Ft_schedule.Space.t)
+    (program : Loopnest.program) =
+  let bytes (_, shape) = 8 * numel shape in
+  List.fold_left
+    (fun acc b -> acc + bytes b)
+    0
+    (space.graph.Ft_ir.Op.inputs @ program.Loopnest.allocs)
+
+let preflight ?(limits = default_limits) (space : Ft_schedule.Space.t) cfg =
+  if not (Ft_schedule.Space.valid space cfg) then
+    Error "config outside the schedule space"
+  else
+    let program = Lowering.lower space cfg in
+    let est_bytes = estimated_bytes space program in
+    let byte_cap =
+      (* half the cap: the child also carries the tuner's inherited
+         footprint and the executor's working set *)
+      match limits.mem_mb with
+      | Some mb -> mb * 1024 * 1024 / 2
+      | None -> max_int
+    in
+    if est_bytes > byte_cap then
+      Error
+        (Printf.sprintf "estimated %d MiB of buffers exceeds the %d MiB cap"
+           (est_bytes / (1024 * 1024))
+           (Option.value limits.mem_mb ~default:0))
+    else
+      let iterations = Loopnest.total_iterations program.Loopnest.body in
+      (* even at 1 ns per leaf statement the nest cannot finish inside
+         the watchdog — forking would only buy a guaranteed SIGKILL *)
+      if float_of_int iterations *. 1e-9 > limits.timeout_s then
+        Error
+          (Printf.sprintf
+             "%d leaf iterations cannot finish inside the %.3g s watchdog"
+             iterations limits.timeout_s)
+      else if
+        unrolled_stmts program.Loopnest.body > 1024 * Compile.max_unrolled_stmts
+      then
+        Error
+          (Printf.sprintf
+             "unroll expansion beyond %dx the %d-statement cap"
+             1024 Compile.max_unrolled_stmts)
+      else Ok program
+
+(* ---------------------------------------------------------------- *)
+(* Child side                                                       *)
+
+module J = Ft_store.Json
+
+let obj fields = J.Obj fields
+
+(* One frame, then _exit: at_exit handlers and buffered channels
+   belong to the parent. *)
+let child_exit oc json =
+  (try Ft_store.Protocol.write_frame oc (Ft_store.Json.to_string json)
+   with Sys_error _ | Unix.Unix_error _ -> ());
+  Unix._exit 0
+
+let run_chaos oc = function
+  | Hang ->
+      let rec spin () =
+        Unix.sleepf 3600.;
+        spin ()
+      in
+      spin ()
+  | Segv ->
+      raise_segv ();
+      Unix._exit 0
+  | Oom_hog -> (
+      try
+        let rec hog acc = hog (Array.make (8 * 1024 * 1024) 0. :: acc) in
+        ignore (hog [] : float array list);
+        Unix._exit 0
+      with Out_of_memory -> child_exit oc (obj [ ("status", J.Str "oom") ]))
+  | Garbage ->
+      output_string oc "these bytes are not a frame\n";
+      flush oc;
+      Unix._exit 0
+  | Truncated ->
+      (* a valid length prefix whose payload never arrives *)
+      output_string oc "65536\n{\"status\":";
+      flush oc;
+      Unix._exit 0
+  | Silent -> Unix._exit 0
+
+let child_main ~limits ~chaos ~seed ~warmup ~reps space cfg write_fd =
+  let oc = Unix.out_channel_of_descr write_fd in
+  (try
+     (match limits.mem_mb with
+      | Some mb -> setrlimit 0 (mb * 1024 * 1024)
+      | None -> ());
+     (* CPU backstop well above the wall-clock watchdog: the parent's
+        SIGKILL is the primary kill, this survives a dead parent *)
+     setrlimit 1 ((2 * int_of_float (Float.ceil limits.timeout_s)) + 1)
+   with Failure _ -> ());
+  (match chaos with Some c -> run_chaos oc c | None -> ());
+  match Measure.run ~seed ~warmup ~reps space cfg with
+  | (perf : Ft_hw.Perf.t) -> (
+      match perf.Ft_hw.Perf.source with
+      | Ft_hw.Perf.Measured { reps; min_ns } when perf.Ft_hw.Perf.valid ->
+          child_exit oc
+            (obj
+               [
+                 ("status", J.Str "ok");
+                 ("time_s", J.Num perf.Ft_hw.Perf.time_s);
+                 ("min_ns", J.Num min_ns);
+                 ("reps", J.Num (float_of_int reps));
+                 ("note", J.Str perf.Ft_hw.Perf.note);
+               ])
+      | Ft_hw.Perf.Measured _ | Ft_hw.Perf.Analytical ->
+          child_exit oc
+            (obj
+               [ ("status", J.Str "invalid"); ("note", J.Str perf.Ft_hw.Perf.note) ]))
+  | exception Out_of_memory -> child_exit oc (obj [ ("status", J.Str "oom") ])
+  | exception e ->
+      child_exit oc
+        (obj
+           [ ("status", J.Str "invalid"); ("note", J.Str (Printexc.to_string e)) ])
+
+(* ---------------------------------------------------------------- *)
+(* Parent side                                                      *)
+
+let poll_interval_s = 0.005
+
+let parse_frame ~flops payload =
+  let open Ft_store.Json in
+  match of_string payload with
+  | Error msg -> Error (Protocol_error ("unparsable frame: " ^ msg))
+  | Ok json -> (
+      let str k = Option.bind (member k json) (fun v -> Result.to_option (to_str v)) in
+      let num k = Option.bind (member k json) (fun v -> Result.to_option (to_num v)) in
+      let int k = Option.bind (member k json) (fun v -> Result.to_option (to_int v)) in
+      match str "status" with
+      | Some "ok" -> (
+          match (num "time_s", num "min_ns", int "reps", str "note") with
+          | Some time_s, Some min_ns, Some reps, Some note ->
+              Ok (Ft_hw.Perf.measured ~flops ~time_s ~reps ~min_ns ~note)
+          | _ -> Error (Protocol_error "incomplete result frame"))
+      | Some "invalid" ->
+          Ok
+            (Ft_hw.Perf.invalid
+               (Option.value (str "note") ~default:"child reported invalid"))
+      | Some "oom" -> Error Oom
+      | Some other -> Error (Protocol_error ("unknown status " ^ other))
+      | None -> Error (Protocol_error "frame missing status"))
+
+let run ?(limits = default_limits) ?chaos ?(seed = 2020) ?(warmup = 1)
+    ?(reps = 5) ?on_tick (space : Ft_schedule.Space.t) cfg =
+  Ft_par.Pool.quiesce_default ();
+  let r, w = Unix.pipe ~cloexec:false () in
+  (* anything buffered would otherwise be written twice — once per
+     process *)
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+      (try Unix.close r with Unix.Unix_error _ -> ());
+      child_main ~limits ~chaos ~seed ~warmup ~reps space cfg w
+  | pid ->
+      (try Unix.close w with Unix.Unix_error _ -> ());
+      let ic = Unix.in_channel_of_descr r in
+      let deadline = Monotime.now_s () +. limits.timeout_s in
+      let rec wait killed =
+        (match on_tick with Some f -> f () | None -> ());
+        match Unix.waitpid [ Unix.WNOHANG ] pid with
+        | 0, _ ->
+            if (not killed) && Monotime.now_s () > deadline then begin
+              (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+              wait true
+            end
+            else begin
+              Unix.sleepf poll_interval_s;
+              wait killed
+            end
+        | _, status -> (killed, status)
+      in
+      let killed, status = wait false in
+      let result =
+        if killed then Error (Timeout limits.timeout_s)
+        else
+          match status with
+          | Unix.WSIGNALED s when s = Sys.sigxcpu ->
+              (* rlimit CPU backstop: a spin is a timeout, not a crash *)
+              Error (Timeout limits.timeout_s)
+          | Unix.WSIGNALED s -> Error (Crashed s)
+          | Unix.WSTOPPED s -> Error (Crashed s)
+          | Unix.WEXITED 0 -> (
+              match Ft_store.Protocol.read_frame ic with
+              | Error msg -> Error (Protocol_error msg)
+              | Ok payload ->
+                  parse_frame ~flops:(Ft_ir.Op.flops space.node) payload)
+          | Unix.WEXITED n ->
+              Error (Protocol_error (Printf.sprintf "child exited %d" n))
+      in
+      close_in_noerr ic;
+      result
+
+(* ---------------------------------------------------------------- *)
+(* Resilience: retries, quarantine, the measurer hook               *)
+
+type policy = { max_retries : int; backoff_s : float }
+
+let default_policy = { max_retries = 1; backoff_s = 0.05 }
+
+let transient = function
+  | Timeout _ | Protocol_error _ -> true
+  | Crashed _ | Oom -> false
+
+let fault_counter = function
+  | Timeout _ -> "measure.timeout"
+  | Crashed _ -> "measure.crashed"
+  | Oom -> "measure.oom"
+  | Protocol_error _ -> "measure.protocol_error"
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  nn = 0
+  ||
+  let rec at i = i + nn <= nh && (String.sub haystack i nn = needle || at (i + 1)) in
+  at 0
+
+let warned_env_chaos = ref false
+
+(* FT_SANDBOX_CHAOS=KIND[:SUBSTR] — the CI test hook: inject KIND into
+   every sandboxed measurement (or only those whose serialized config
+   contains SUBSTR). *)
+let chaos_from_env key =
+  match Sys.getenv_opt "FT_SANDBOX_CHAOS" with
+  | None | Some "" -> None
+  | Some spec -> (
+      let kind, filter =
+        match String.index_opt spec ':' with
+        | None -> (spec, "")
+        | Some i ->
+            ( String.sub spec 0 i,
+              String.sub spec (i + 1) (String.length spec - i - 1) )
+      in
+      match chaos_of_string (String.lowercase_ascii (String.trim kind)) with
+      | None ->
+          if not !warned_env_chaos then begin
+            warned_env_chaos := true;
+            Printf.eprintf
+              "warning: ignoring FT_SANDBOX_CHAOS=%S (expected \
+               hang|segv|oom|garbage|truncated|silent[:SUBSTR])\n%!"
+              spec
+          end;
+          None
+      | Some c -> if contains key filter then Some c else None)
+
+let measurer ?limits ?policy ?chaos ?seed ?warmup ?reps ?on_tick space =
+  let limits = Option.value limits ~default:default_limits in
+  let policy = Option.value policy ~default:default_policy in
+  let quarantined : (string, Ft_hw.Perf.t) Hashtbl.t = Hashtbl.create 7 in
+  fun cfg ->
+    let key = Ft_schedule.Config_io.to_string cfg in
+    match Hashtbl.find_opt quarantined key with
+    | Some perf ->
+        Ft_obs.Trace.incr "measure.quarantine_hit";
+        perf
+    | None -> (
+        match preflight ~limits space cfg with
+        | Error reason ->
+            Ft_obs.Trace.incr "measure.preflight";
+            let perf = Ft_hw.Perf.invalid ("preflight: " ^ reason) in
+            Hashtbl.replace quarantined key perf;
+            perf
+        | Ok _ ->
+            let chaos =
+              match chaos with Some f -> f cfg | None -> chaos_from_env key
+            in
+            let rec attempt k =
+              Ft_obs.Trace.incr "measure.sandboxed";
+              match run ~limits ?chaos ?seed ?warmup ?reps ?on_tick space cfg with
+              | Ok perf -> perf
+              | Error fault ->
+                  Ft_obs.Trace.incr (fault_counter fault);
+                  if Ft_obs.Trace.active () then
+                    Ft_obs.Trace.event "measure.fault"
+                      [
+                        ("fault", Ft_obs.Trace.Str (fault_to_string fault));
+                        ("attempt", Ft_obs.Trace.Int k);
+                      ];
+                  if transient fault && k < policy.max_retries then begin
+                    Ft_obs.Trace.incr "measure.retry";
+                    Unix.sleepf (policy.backoff_s *. (2. ** float_of_int k));
+                    attempt (k + 1)
+                  end
+                  else begin
+                    Ft_obs.Trace.incr "measure.quarantined";
+                    let perf =
+                      Ft_hw.Perf.invalid
+                        ("sandbox: " ^ fault_to_string fault)
+                    in
+                    Hashtbl.replace quarantined key perf;
+                    perf
+                  end
+            in
+            attempt 0)

@@ -1,0 +1,126 @@
+(** Process-isolated measurement: crash containment for compiled-kernel
+    timing (DESIGN.md §16).
+
+    {!Measure.run} executes the kernel in-process, so a pathological
+    schedule — a miscompiled nest that spins, a padded buffer that
+    exhausts memory, a genuine segfault — takes the whole tuner (or
+    daemon, or fleet worker) down with it.  [Sandbox.run] forks a
+    child per measurement: the child applies [rlimit] address-space
+    and CPU caps, compiles and times the kernel, and reports one
+    length-prefixed JSON frame ({!Ft_store.Protocol} framing) back
+    over a pipe; the parent runs a monotonic watchdog ({!Monotime})
+    and SIGKILLs the child on expiry.  Every failure mode maps to a
+    structured {!fault} instead of an exception, signal, or hang in
+    the tuner.
+
+    Isolation never touches the search: measurement runs strictly
+    post-search behind the [measurer] hook, so seeded searches are
+    bit-for-bit identical with the sandbox on, off, or absent.
+
+    Forking is only safe from a single-domain process; [run] parks the
+    process-wide default pool ({!Ft_par.Pool.quiesce_default}) first.
+    Callers holding custom live pools must shut them down before
+    measuring. *)
+
+(** Why a sandboxed measurement produced no result.  [Timeout] and
+    [Protocol_error] are treated as transient (retried with backoff);
+    [Crashed] and [Oom] are deterministic (quarantined immediately). *)
+type fault =
+  | Timeout of float  (** watchdog SIGKILL after this many seconds *)
+  | Crashed of int  (** child killed by this signal ([Sys.sig*]) *)
+  | Oom  (** child hit its address-space cap *)
+  | Protocol_error of string
+      (** child exited without a well-formed result frame *)
+
+val fault_to_string : fault -> string
+
+type limits = {
+  timeout_s : float;  (** wall-clock watchdog (SIGKILL on expiry) *)
+  mem_mb : int option;  (** RLIMIT_AS cap in MiB; [None] = unlimited *)
+}
+
+(** 10 s, 4096 MiB — generous enough that well-behaved kernels never
+    trip them (the child inherits the parent's address space, so the
+    memory cap must sit well above the tuner's own footprint). *)
+val default_limits : limits
+
+(** Deterministic fault injection for the containment tests and
+    [bench sandbox]: executed in the child instead of the kernel.
+    [Hang] sleeps forever (watchdog path); [Segv] dereferences null;
+    [Oom_hog] allocates until the rlimit fails; [Garbage] writes an
+    unparsable frame; [Truncated] writes a frame that ends mid-
+    payload; [Silent] exits 0 without writing. *)
+type chaos = Hang | Segv | Oom_hog | Garbage | Truncated | Silent
+
+val chaos_to_string : chaos -> string
+val chaos_of_string : string -> chaos option
+
+(** Pre-flight static guard: reject obviously-doomed configs without
+    forking.  Checks (1) estimated buffer bytes (8 bytes x the shape
+    product of every graph input and program alloc) against half the
+    address-space cap, and (2) [Loopnest.total_iterations] against
+    the watchdog (at an optimistic 1 ns per leaf statement the nest
+    cannot finish in time), and (3) the estimated unroll expansion
+    against 1024x {!Compile.max_unrolled_stmts}.  [Error] carries the
+    reason; [Ok] carries the lowered program. *)
+val preflight :
+  ?limits:limits ->
+  Ft_schedule.Space.t ->
+  Ft_schedule.Config.t ->
+  (Loopnest.program, string) result
+
+(** [run space cfg] measures [cfg] in a forked child (same seed /
+    warmup / reps semantics as {!Measure.run}) and returns the child's
+    result, or the {!fault} that contained it.  [Ok] can itself be an
+    invalid perf (e.g. a config outside the space) — that is a result,
+    not a containment event.  [on_tick] is called every watchdog poll
+    (~5 ms) while the child runs — the seam for heartbeating during a
+    long measurement.  [chaos] injects a child-side fault (tests). *)
+val run :
+  ?limits:limits ->
+  ?chaos:chaos ->
+  ?seed:int ->
+  ?warmup:int ->
+  ?reps:int ->
+  ?on_tick:(unit -> unit) ->
+  Ft_schedule.Space.t ->
+  Ft_schedule.Config.t ->
+  (Ft_hw.Perf.t, fault) result
+
+(** Retry/quarantine policy around {!run} (the PR-5 resilience
+    taxonomy made real): transient faults retry up to [max_retries]
+    times with exponential backoff from [backoff_s]; deterministic
+    faults (and exhausted retries) quarantine the config — later
+    measurements of the same config return the cached invalid perf
+    without forking. *)
+type policy = { max_retries : int; backoff_s : float }
+
+(** 1 retry, 50 ms base backoff. *)
+val default_policy : policy
+
+val transient : fault -> bool
+
+(** [measurer space] is an {!Ft_explore.Evaluator.measurer}-shaped
+    hook: preflight, sandboxed run, retries, quarantine.  Faults come
+    back as [Ft_hw.Perf.invalid] with a structured ["sandbox: ..."]
+    note (preflight rejections as ["preflight: ..."]).  Trace
+    counters: [measure.sandboxed], [measure.timeout],
+    [measure.crashed], [measure.oom], [measure.protocol_error],
+    [measure.preflight], [measure.retry], [measure.quarantined],
+    [measure.quarantine_hit].
+
+    [chaos] selects injected faults per config; when absent, the
+    [FT_SANDBOX_CHAOS] environment variable (a {!chaos} name,
+    optionally [:SUBSTR] to match against the serialized config) is
+    the CI test hook. *)
+val measurer :
+  ?limits:limits ->
+  ?policy:policy ->
+  ?chaos:(Ft_schedule.Config.t -> chaos option) ->
+  ?seed:int ->
+  ?warmup:int ->
+  ?reps:int ->
+  ?on_tick:(unit -> unit) ->
+  Ft_schedule.Space.t ->
+  Ft_schedule.Config.t ->
+  Ft_hw.Perf.t

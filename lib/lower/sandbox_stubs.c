@@ -1,0 +1,39 @@
+/* Resource caps for the measurement child (Sandbox, DESIGN.md §16).
+
+   setrlimit must run in the child between fork and the kernel run:
+   RLIMIT_AS turns a runaway allocation into a failed mmap — which
+   OCaml surfaces as Out_of_memory, reported over the pipe — instead
+   of an OOM-killed tuner, and RLIMIT_CPU is the backstop against a
+   spinning kernel should the parent's SIGKILL watchdog itself die.
+   Both limits apply to the whole child process, which is exactly the
+   containment unit. */
+
+#include <caml/fail.h>
+#include <caml/memory.h>
+#include <caml/mlvalues.h>
+
+#include <errno.h>
+#include <string.h>
+#include <sys/resource.h>
+
+CAMLprim value ft_sandbox_setrlimit(value vres, value vlimit)
+{
+  CAMLparam2(vres, vlimit);
+  int resource = Int_val(vres) == 0 ? RLIMIT_AS : RLIMIT_CPU;
+  struct rlimit rl;
+  rl.rlim_cur = (rlim_t) Long_val(vlimit);
+  rl.rlim_max = (rlim_t) Long_val(vlimit);
+  if (setrlimit(resource, &rl) != 0)
+    caml_failwith(strerror(errno));
+  CAMLreturn(Val_unit);
+}
+
+/* Chaos hook: a genuine segfault (null store), so the containment
+   tests exercise the real WSIGNALED path rather than a simulation. */
+CAMLprim value ft_sandbox_segv(value unit)
+{
+  CAMLparam1(unit);
+  volatile int *p = (volatile int *) 0;
+  *p = 42;
+  CAMLreturn(Val_unit);
+}

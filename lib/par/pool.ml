@@ -289,3 +289,16 @@ let default () =
 let set_default_jobs jobs =
   if jobs < 1 then invalid_arg "Pool.set_default_jobs: jobs must be >= 1";
   requested_jobs := Some jobs
+
+(* Join the default pool's worker domains; the pool is recreated
+   lazily by the next [default ()].  Unix.fork is only safe from a
+   single-domain process — a child forked while worker domains sit in
+   their condition wait inherits a domain table full of domains whose
+   threads do not exist, and deadlocks at its first stop-the-world
+   section — so the measurement sandbox quiesces before forking. *)
+let quiesce_default () =
+  match !default_pool with
+  | Some pool ->
+      shutdown pool;
+      default_pool := None
+  | None -> ()

@@ -43,6 +43,15 @@ val set_default_jobs : int -> unit
     [default_jobs ()] lanes. *)
 val default : unit -> t
 
+(** Shut down the default pool (if any) and join its worker domains;
+    the next [default ()] recreates it.  Callers that need a
+    single-domain process — e.g. {!Ft_lower.Sandbox} before
+    [Unix.fork], whose child would deadlock at its first
+    stop-the-world GC if other domains existed — quiesce first.
+    Idempotent; results of later maps are unchanged (only domain
+    spawn cost is paid again). *)
+val quiesce_default : unit -> unit
+
 (** [map pool f xs] is [List.map f xs] computed on the pool's lanes in
     contiguous chunks.  Chunk size is amortized against an EWMA of the
     measured per-task cost (one grab of the shared work counter should

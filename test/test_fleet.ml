@@ -420,6 +420,46 @@ let test_socket_fleet_end_to_end () =
   check_int "all batches remote" 3 stats.Coordinator.remote_batches;
   check_int "both workers joined" 2 stats.workers_seen
 
+(* A batch that outlasts the stale threshold (e.g. real sandboxed
+   measurement) must not read as a dead worker: the worker's pump
+   thread heartbeats on a second connection while compute is in
+   flight, so the claim is never requeued or stolen and the batch is
+   computed exactly once. *)
+let test_slow_batch_keeps_heartbeating () =
+  let c =
+    Coordinator.create ~batch_size:16 ~heartbeat_s:0.2 ~steal_after_s:60.
+      ~grace_s:60. ~local_fallback:false ~task:small_task
+      ~listen:"127.0.0.1:0" ()
+  in
+  let _serve = Coordinator.start c in
+  let addr = Coordinator.address c in
+  let outcome = ref (Stdlib.Error "never ran") in
+  let slow_compute space ~flops_scale configs =
+    (* three stale thresholds (2 x heartbeat_s): without in-flight
+       heartbeats this claim is declared dead mid-compute *)
+    Thread.delay 1.2;
+    Worker.compute_batch space ~flops_scale configs
+  in
+  let worker =
+    Thread.create
+      (fun () ->
+        outcome :=
+          Worker.run ~name:"slowpoke" ~compute:slow_compute ~coordinator:addr
+            ())
+      ()
+  in
+  let keyed = wave (space_of small_task) 16 in
+  let got = Coordinator.dispatch c keyed in
+  Coordinator.stop c;
+  Thread.join worker;
+  check_entries "slow worker's batch" (expected_entries small_task keyed) got;
+  (match !outcome with
+  | Stdlib.Ok n -> check_int "one batch, computed once" 1 n
+  | Stdlib.Error e -> Alcotest.fail ("worker failed: " ^ e));
+  let stats = Coordinator.stats c in
+  check_int "no requeue while heartbeats flowed" 0 stats.Coordinator.requeues;
+  check_int "no steal" 0 stats.steals
+
 (* --- the bit-for-bit contract --- *)
 
 let gemm_graph = Ft_ir.Operators.gemm ~m:64 ~n:64 ~k:64
@@ -548,6 +588,8 @@ let () =
         [
           Alcotest.test_case "sockets end-to-end" `Quick
             test_socket_fleet_end_to_end;
+          Alcotest.test_case "slow batch keeps heartbeating" `Quick
+            test_slow_batch_keeps_heartbeating;
           QCheck_alcotest.to_alcotest qcheck_fleet_bit_for_bit;
         ] );
       ( "sim",

@@ -1,0 +1,338 @@
+(* The process-isolated measurement sandbox (DESIGN.md §16): the
+   monotonic clock, every containment path (watchdog SIGKILL, real
+   segfault, rlimit OOM, garbage / truncated / missing result frames),
+   the pre-flight static guard, retry-then-quarantine resilience, the
+   agreement of sandboxed and in-process measurement on well-behaved
+   kernels, and the bit-for-bit invariance of seeded searches to the
+   sandbox being on, off, or absent. *)
+
+open Ft_lower
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* The one target we can actually run on: the host CPU driving the
+   compiled scalar executor (same spec as `bench model`). *)
+let host =
+  Ft_schedule.Target.Cpu
+    {
+      Ft_schedule.Target.cpu_name = "host-interp";
+      cores = 1;
+      clock_ghz = 0.025;
+      vector_width = 1;
+      fma_units = 1;
+      l1_kb = 32;
+      l2_kb = 1024;
+      l3_mb = 32;
+      mem_bw_gb = 10.;
+      l2_bw_gb = 40.;
+      l1_bw_gb = 100.;
+    }
+
+let space_of ?(m = 16) ?(n = 16) ?(k = 16) () =
+  Ft_schedule.Space.make (Ft_ir.Operators.gemm ~m ~n ~k) host
+
+let tiny = { Sandbox.timeout_s = 5.; mem_mb = Some 2048 }
+
+(* --- monotonic clock --- *)
+
+let test_monotime_monotonic () =
+  let t0 = Monotime.now_s () in
+  let prev = ref t0 in
+  for _ = 1 to 1000 do
+    let t = Monotime.now_s () in
+    check_bool "never steps backwards" true (t >= !prev);
+    prev := t
+  done;
+  Unix.sleepf 0.01;
+  check_bool "elapsed_s sees the sleep" true (Monotime.elapsed_s t0 >= 0.009)
+
+(* --- the happy path --- *)
+
+let test_sandbox_ok () =
+  let space = space_of () in
+  let cfg = Ft_schedule.Space.default_config space in
+  match Sandbox.run ~limits:tiny ~reps:2 space cfg with
+  | Ok perf ->
+      check_bool "valid" true perf.Ft_hw.Perf.valid;
+      check_bool "measured provenance" true (Ft_hw.Perf.is_measured perf);
+      check_bool "positive gflops" true (perf.Ft_hw.Perf.gflops > 0.)
+  | Error fault -> Alcotest.fail (Sandbox.fault_to_string fault)
+
+(* An invalid config is a result, not a containment event. *)
+let test_sandbox_invalid_config () =
+  let space = space_of () in
+  let big = space_of ~m:64 ~n:64 ~k:64 () in
+  let foreign = Ft_schedule.Space.default_config big in
+  if Ft_schedule.Space.valid space foreign then ()
+  else
+    match Sandbox.run ~limits:tiny space foreign with
+    | Ok perf ->
+        check_bool "invalid result" false perf.Ft_hw.Perf.valid;
+        check_bool "analytical provenance" false (Ft_hw.Perf.is_measured perf)
+    | Error fault ->
+        Alcotest.fail
+          ("invalid config must not be a fault: "
+          ^ Sandbox.fault_to_string fault)
+
+(* Sandboxed and in-process measurement agree on well-behaved kernels:
+   same validity, provenance, note, and rep count (wall clocks differ,
+   of course). *)
+let qcheck_agreement =
+  QCheck.Test.make ~name:"sandboxed == in-process on well-behaved kernels"
+    ~count:6
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let space = space_of () in
+      let rng = Ft_util.Rng.create seed in
+      let rec draw attempts =
+        let cfg = Ft_schedule.Space.random_config rng space in
+        if Ft_schedule.Space.valid space cfg || attempts >= 50 then cfg
+        else draw (attempts + 1)
+      in
+      let cfg = draw 0 in
+      let inproc = Measure.run ~reps:2 space cfg in
+      match Sandbox.run ~limits:tiny ~reps:2 space cfg with
+      | Error fault -> QCheck.Test.fail_report (Sandbox.fault_to_string fault)
+      | Ok sandboxed ->
+          sandboxed.Ft_hw.Perf.valid = inproc.Ft_hw.Perf.valid
+          && String.equal sandboxed.Ft_hw.Perf.note inproc.Ft_hw.Perf.note
+          && (match
+                (sandboxed.Ft_hw.Perf.source, inproc.Ft_hw.Perf.source)
+              with
+             | ( Ft_hw.Perf.Measured { reps = r1; _ },
+                 Ft_hw.Perf.Measured { reps = r2; _ } ) -> r1 = r2
+             | Ft_hw.Perf.Analytical, Ft_hw.Perf.Analytical -> true
+             | _ -> false))
+
+(* --- containment paths --- *)
+
+let contained chaos limits =
+  let space = space_of () in
+  let cfg = Ft_schedule.Space.default_config space in
+  Sandbox.run ~limits ~chaos space cfg
+
+let test_contains_hang () =
+  match contained Sandbox.Hang { tiny with Sandbox.timeout_s = 0.3 } with
+  | Error (Sandbox.Timeout s) ->
+      check_bool "reports the watchdog budget" true (s = 0.3)
+  | Error fault -> Alcotest.fail ("expected Timeout, got " ^ Sandbox.fault_to_string fault)
+  | Ok _ -> Alcotest.fail "a hung child cannot produce a result"
+
+let test_contains_segv () =
+  match contained Sandbox.Segv tiny with
+  | Error (Sandbox.Crashed s) ->
+      check_int "killed by SIGSEGV" Sys.sigsegv s
+  | Error fault -> Alcotest.fail ("expected Crashed, got " ^ Sandbox.fault_to_string fault)
+  | Ok _ -> Alcotest.fail "a segfaulted child cannot produce a result"
+
+let test_contains_oom () =
+  (* A tight cap and a roomy watchdog: the hog must hit RLIMIT_AS well
+     before the deadline even on a loaded machine (the full runtest
+     runs every suite in parallel). *)
+  match
+    contained Sandbox.Oom_hog { Sandbox.timeout_s = 30.; mem_mb = Some 512 }
+  with
+  | Error Sandbox.Oom -> ()
+  | Error fault -> Alcotest.fail ("expected Oom, got " ^ Sandbox.fault_to_string fault)
+  | Ok _ -> Alcotest.fail "an OOM'd child cannot produce a result"
+
+let expect_protocol_error name chaos =
+  match contained chaos tiny with
+  | Error (Sandbox.Protocol_error _) -> ()
+  | Error fault ->
+      Alcotest.fail
+        (name ^ ": expected Protocol_error, got "
+        ^ Sandbox.fault_to_string fault)
+  | Ok _ -> Alcotest.fail (name ^ ": cannot produce a result")
+
+let test_contains_bad_frames () =
+  expect_protocol_error "garbage" Sandbox.Garbage;
+  expect_protocol_error "truncated" Sandbox.Truncated;
+  expect_protocol_error "silent exit 0" Sandbox.Silent
+
+(* --- pre-flight guard --- *)
+
+let test_preflight_rejects_huge_buffers () =
+  let space = space_of ~m:256 ~n:256 ~k:256 () in
+  let cfg = Ft_schedule.Space.default_config space in
+  (* 3 x 256^2 x 8 bytes = 1.5 MiB of buffers against a 1 MiB cap *)
+  match
+    Sandbox.preflight
+      ~limits:{ Sandbox.timeout_s = 5.; mem_mb = Some 1 }
+      space cfg
+  with
+  | Error reason -> check_bool "names the cap" true
+        (String.length reason > 0)
+  | Ok _ -> Alcotest.fail "expected a buffer-bytes rejection"
+
+let test_preflight_rejects_undersized_watchdog () =
+  let space = space_of () in
+  let cfg = Ft_schedule.Space.default_config space in
+  match
+    Sandbox.preflight
+      ~limits:{ Sandbox.timeout_s = 1e-7; mem_mb = None }
+      space cfg
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected an iteration-count rejection"
+
+let test_preflight_accepts_sane_configs () =
+  let space = space_of () in
+  let cfg = Ft_schedule.Space.default_config space in
+  match Sandbox.preflight ~limits:tiny space cfg with
+  | Ok _ -> ()
+  | Error reason -> Alcotest.fail ("sane config rejected: " ^ reason)
+
+(* --- resilience: counters, retries, quarantine --- *)
+
+let counter name =
+  Option.value (List.assoc_opt name (Ft_obs.Trace.counters ())) ~default:0
+
+let with_trace f =
+  Ft_obs.Trace.enable (Ft_obs.Trace.Sink.make (fun _ -> ()));
+  Fun.protect ~finally:Ft_obs.Trace.close f
+
+let test_deterministic_crash_quarantines () =
+  with_trace (fun () ->
+      let space = space_of () in
+      let cfg = Ft_schedule.Space.default_config space in
+      let measure =
+        Sandbox.measurer ~limits:tiny
+          ~policy:{ Sandbox.max_retries = 2; backoff_s = 0.01 }
+          ~chaos:(fun _ -> Some Sandbox.Segv)
+          space
+      in
+      let first = measure cfg in
+      check_bool "crash becomes an invalid perf" false
+        first.Ft_hw.Perf.valid;
+      check_bool "note carries the structured reason" true
+        (String.length first.Ft_hw.Perf.note > 0);
+      check_int "one fork: deterministic faults never retry" 1
+        (counter "measure.sandboxed");
+      check_int "counted as crashed" 1 (counter "measure.crashed");
+      check_int "quarantined" 1 (counter "measure.quarantined");
+      let second = measure cfg in
+      check_bool "served from quarantine" true
+        (String.equal second.Ft_hw.Perf.note first.Ft_hw.Perf.note);
+      check_int "no second fork" 1 (counter "measure.sandboxed");
+      check_int "quarantine hit counted" 1 (counter "measure.quarantine_hit"))
+
+let test_transient_timeout_retries () =
+  with_trace (fun () ->
+      let space = space_of () in
+      let cfg = Ft_schedule.Space.default_config space in
+      let measure =
+        Sandbox.measurer
+          ~limits:{ tiny with Sandbox.timeout_s = 0.2 }
+          ~policy:{ Sandbox.max_retries = 1; backoff_s = 0.01 }
+          ~chaos:(fun _ -> Some Sandbox.Hang)
+          space
+      in
+      let perf = measure cfg in
+      check_bool "timed out measurement is invalid" false
+        perf.Ft_hw.Perf.valid;
+      check_int "original + one retry" 2 (counter "measure.sandboxed");
+      check_int "both attempts timed out" 2 (counter "measure.timeout");
+      check_int "one retry" 1 (counter "measure.retry");
+      check_int "then quarantined" 1 (counter "measure.quarantined"))
+
+let test_preflight_rejection_quarantines () =
+  with_trace (fun () ->
+      let space = space_of ~m:256 ~n:256 ~k:256 () in
+      let cfg = Ft_schedule.Space.default_config space in
+      let measure =
+        Sandbox.measurer
+          ~limits:{ Sandbox.timeout_s = 5.; mem_mb = Some 1 }
+          space
+      in
+      let perf = measure cfg in
+      check_bool "rejected before forking" false perf.Ft_hw.Perf.valid;
+      check_bool "preflight-prefixed note" true
+        (String.length perf.Ft_hw.Perf.note >= 10
+        && String.equal (String.sub perf.Ft_hw.Perf.note 0 10) "preflight:");
+      check_int "no fork" 0 (counter "measure.sandboxed");
+      ignore (measure cfg);
+      check_int "second call is a quarantine hit" 1
+        (counter "measure.quarantine_hit"))
+
+(* --- seeded searches are invariant to the sandbox --- *)
+
+let qcheck_search_invariant_to_sandbox =
+  QCheck.Test.make
+    ~name:"seeded search is bit-for-bit invariant to sandbox on/off/absent"
+    ~count:4
+    QCheck.(pair (int_range 0 1000) (oneofl [ "Q-method"; "random" ]))
+    (fun (seed, search) ->
+      let graph = Ft_ir.Operators.gemm ~m:32 ~n:32 ~k:32 in
+      let options =
+        { Flextensor.default_options with seed; n_trials = 4; search }
+      in
+      let space = Ft_schedule.Space.make graph host in
+      let optimize measurer =
+        Flextensor.optimize ~options ?measurer graph host
+      in
+      let bare = optimize None in
+      let inproc =
+        optimize (Some (fun cfg -> Measure.run ~reps:1 space cfg))
+      in
+      let sandboxed =
+        optimize (Some (Sandbox.measurer ~limits:tiny ~reps:1 space))
+      in
+      let bits_equal a b =
+        Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+      in
+      let same (a : Flextensor.report) (b : Flextensor.report) =
+        Ft_schedule.Config.equal a.Flextensor.config b.Flextensor.config
+        && bits_equal a.perf_value b.perf_value
+        && bits_equal a.sim_time_s b.sim_time_s
+        && a.n_evals = b.n_evals
+      in
+      same bare inproc && same bare sandboxed
+      && (match (inproc.Flextensor.measured, sandboxed.Flextensor.measured) with
+         | Some m1, Some m2 ->
+             m1.Ft_hw.Perf.valid && m2.Ft_hw.Perf.valid
+             && String.equal m1.Ft_hw.Perf.note m2.Ft_hw.Perf.note
+         | _ -> false))
+
+let () =
+  Alcotest.run "ft_sandbox"
+    [
+      ( "monotime",
+        [ Alcotest.test_case "monotonic" `Quick test_monotime_monotonic ] );
+      ( "sandbox",
+        [
+          Alcotest.test_case "well-behaved kernel" `Quick test_sandbox_ok;
+          Alcotest.test_case "invalid config is a result" `Quick
+            test_sandbox_invalid_config;
+          QCheck_alcotest.to_alcotest qcheck_agreement;
+        ] );
+      ( "containment",
+        [
+          Alcotest.test_case "hang -> Timeout" `Quick test_contains_hang;
+          Alcotest.test_case "segfault -> Crashed" `Quick test_contains_segv;
+          Alcotest.test_case "rlimit -> Oom" `Quick test_contains_oom;
+          Alcotest.test_case "bad frames -> Protocol_error" `Quick
+            test_contains_bad_frames;
+        ] );
+      ( "preflight",
+        [
+          Alcotest.test_case "rejects huge buffers" `Quick
+            test_preflight_rejects_huge_buffers;
+          Alcotest.test_case "rejects undersized watchdog" `Quick
+            test_preflight_rejects_undersized_watchdog;
+          Alcotest.test_case "accepts sane configs" `Quick
+            test_preflight_accepts_sane_configs;
+        ] );
+      ( "resilience",
+        [
+          Alcotest.test_case "deterministic crash quarantines" `Quick
+            test_deterministic_crash_quarantines;
+          Alcotest.test_case "transient timeout retries" `Quick
+            test_transient_timeout_retries;
+          Alcotest.test_case "preflight rejection quarantines" `Quick
+            test_preflight_rejection_quarantines;
+        ] );
+      ( "invariance",
+        [ QCheck_alcotest.to_alcotest qcheck_search_invariant_to_sandbox ] );
+    ]
